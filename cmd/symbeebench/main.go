@@ -1,0 +1,76 @@
+// Command symbeebench reruns the paper's evaluation on the simulated
+// testbed and prints each table/figure series.
+//
+// Usage:
+//
+//	symbeebench -list
+//	symbeebench -run fig13
+//	symbeebench -all
+//	symbeebench -run fig12 -packets 200 -seed 7 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"symbee/internal/sim"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "experiment id to run (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		seed    = flag.Int64("seed", 1, "random seed")
+		packets = flag.Int("packets", 0, "packets per measurement point (0 = default)")
+		short   = flag.Bool("short", false, "quarter-size runs")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	if err := realMain(*list, *run, *all, sim.Options{Seed: *seed, Packets: *packets, Short: *short}, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "symbeebench:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(list bool, run string, all bool, opts sim.Options, csv bool) error {
+	switch {
+	case list:
+		for _, e := range sim.Experiments() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Description)
+		}
+		return nil
+	case run != "":
+		e, err := sim.ByID(run)
+		if err != nil {
+			return err
+		}
+		return runOne(e, opts, csv)
+	case all:
+		for _, e := range sim.Experiments() {
+			if err := runOne(e, opts, csv); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+		return nil
+	}
+	flag.Usage()
+	return nil
+}
+
+func runOne(e sim.Experiment, opts sim.Options, csv bool) error {
+	start := time.Now()
+	t, err := e.Run(opts)
+	if err != nil {
+		return err
+	}
+	if csv {
+		fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+	} else {
+		fmt.Println(t.Render())
+	}
+	fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
+}

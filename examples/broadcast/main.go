@@ -1,0 +1,85 @@
+// Cross-technology broadcast (§VI-A): ONE ZigBee transmission received
+// simultaneously by a WiFi device (from idle-listening phase patterns)
+// and by a neighbouring ZigBee node (as an ordinary packet whose payload
+// bytes it inspects at the application layer). This is the primitive
+// behind explicit WiFi/ZigBee channel coordination: a single message,
+// e.g. a spectrum reservation, reaches both technologies at once.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"symbee"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	link, err := symbee.NewLink(symbee.Params20(), symbee.CanonicalCompensation)
+	if err != nil {
+		return err
+	}
+
+	// A channel-coordination message: "ZigBee reserves the band for the
+	// next 50 ms" — flags carry the message type.
+	reservation := &symbee.Frame{Seq: 7, Flags: 0x2, Data: []byte("RSV 50ms")}
+	signal, err := link.TransmitFrame(reservation)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("broadcast: seq=%d flags=%X %q\n\n", reservation.Seq, reservation.Flags, reservation.Data)
+
+	// --- Receiver 1: WiFi, via cross-observed phases. -------------------
+	wifiCh, err := symbee.NewChannel(symbee.ChannelConfig{
+		Scenario: "classroom", Distance: 12, Seed: 9,
+	})
+	if err != nil {
+		return err
+	}
+	capture, err := wifiCh.Transmit(signal)
+	if err != nil {
+		return err
+	}
+	atWiFi, err := link.ReceiveFrame(capture)
+	if err != nil {
+		return fmt.Errorf("wifi side: %w", err)
+	}
+	fmt.Printf("WiFi   receiver: decoded %q from idle-listening phases\n", atWiFi.Data)
+
+	// --- Receiver 2: ZigBee, natively. ----------------------------------
+	// A ZigBee neighbour demodulates the very same packet with its
+	// standard OQPSK receiver (its own channel: no carrier offset) and
+	// reads the SymBee message straight out of the payload bytes —
+	// plain application code, no firmware change.
+	zigCh, err := symbee.NewChannel(symbee.ChannelConfig{
+		Scenario: "classroom", Distance: 8, Seed: 10,
+		SameTechnology: true, // tuned to the ZigBee channel: no offset
+	})
+	if err != nil {
+		return err
+	}
+	zigCapture, err := zigCh.Transmit(signal)
+	if err != nil {
+		return err
+	}
+	payload, err := symbee.ReceiveZigBee(zigCapture, 20e6)
+	if err != nil {
+		return fmt.Errorf("zigbee side: %w", err)
+	}
+	fmt.Printf("ZigBee receiver: packet payload starts % X ...\n", payload[:8])
+	atZigBee, err := symbee.DecodeBroadcastPayload(payload)
+	if err != nil {
+		return fmt.Errorf("zigbee side parse: %w", err)
+	}
+	fmt.Printf("ZigBee receiver: decoded %q from payload codewords\n", atZigBee.Data)
+
+	if string(atWiFi.Data) == string(atZigBee.Data) {
+		fmt.Println("\nboth technologies received the same reservation — coordination achieved")
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Coexistence: an IoT sensor uploads readings to WiFi through heavy
+// interference — the Fig. 21 scenario as an application. The message is
+// protected with Hamming(7,4) link-layer coding; the demo compares raw
+// and coded delivery across the library preset (the paper's worst WiFi
+// environment) at increasing distance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"symbee"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	link, err := symbee.NewLink(symbee.Params20(), symbee.CanonicalCompensation)
+	if err != nil {
+		return err
+	}
+
+	// An 8-byte sensor reading: 64 data bits.
+	reading := []byte{0x21, 0x5A, 0x00, 0xC7, 0x19, 0x84, 0x3F, 0x02}
+	dataBits := symbee.BytesToBits(reading)
+	codedBits := symbee.HammingEncodeBits(dataBits)
+
+	rawSig, err := link.TransmitBits(dataBits)
+	if err != nil {
+		return err
+	}
+	codedSig, err := link.TransmitBits(codedBits)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sensor reading: %d data bits raw, %d bits after Hamming(7,4)\n\n",
+		len(dataBits), len(codedBits))
+	fmt.Printf("%-10s  %-12s  %-12s\n", "distance", "raw errors", "coded errors")
+
+	const trials = 20
+	for _, distance := range []float64{5, 10, 15, 20} {
+		ch, err := symbee.NewChannel(symbee.ChannelConfig{
+			Scenario: "library",
+			Distance: distance,
+			Seed:     int64(distance),
+		})
+		if err != nil {
+			return err
+		}
+		rawErrs, codedErrs := 0, 0
+		for i := 0; i < trials; i++ {
+			// Raw path.
+			capture, err := ch.Transmit(rawSig)
+			if err != nil {
+				return err
+			}
+			if got, err := link.ReceiveBits(capture, len(dataBits)); err == nil {
+				rawErrs += bitErrors(got, dataBits)
+			} else {
+				rawErrs += len(dataBits) // lost packet
+			}
+
+			// Coded path.
+			capture, err = ch.Transmit(codedSig)
+			if err != nil {
+				return err
+			}
+			if got, err := link.ReceiveBits(capture, len(codedBits)); err == nil {
+				decoded, _, err := symbee.HammingDecodeBits(got)
+				if err == nil {
+					codedErrs += bitErrors(decoded[:len(dataBits)], dataBits)
+					continue
+				}
+			}
+			codedErrs += len(dataBits)
+		}
+		fmt.Printf("%-10v  %3d/%-8d  %3d/%-8d\n",
+			fmt.Sprintf("%.0f m", distance),
+			rawErrs, trials*len(dataBits),
+			codedErrs, trials*len(dataBits))
+	}
+	fmt.Println("\nHamming(7,4) halves the residual error rate at the cost of 7/4 airtime (Fig. 21)")
+	return nil
+}
+
+func bitErrors(got, want []byte) int {
+	n := 0
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,101 @@
+// Cross-technology channel coordination (§II-A, §VI-A): a SymBee
+// broadcast announces a ZigBee reservation window to WiFi devices, which
+// then restrain their channel usage, while ZigBee sensors upload inside
+// the window. The demo contrasts implicit CSMA coexistence against the
+// explicit reservation: the MAC-level simulation shows how much of the
+// offered ZigBee traffic survives each regime.
+//
+// This example demonstrates the internal/mac substrate in addition to
+// the public API; see examples/broadcast for the pure-API broadcast.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"symbee"
+	"symbee/internal/mac"
+	"symbee/internal/zigbee"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Step 1: the coordinator broadcasts the reservation as a SymBee
+	// frame. Flags=0x2 marks a reservation message; the payload carries
+	// the window in milliseconds.
+	link, err := symbee.NewLink(symbee.Params20(), symbee.CanonicalCompensation)
+	if err != nil {
+		return err
+	}
+	frame := &symbee.Frame{Seq: 1, Flags: 0x2, Data: []byte("RSV 500ms")}
+	sig, err := link.TransmitFrame(frame)
+	if err != nil {
+		return err
+	}
+	ch, err := symbee.NewChannel(symbee.ChannelConfig{Scenario: "office", Distance: 8, Seed: 1})
+	if err != nil {
+		return err
+	}
+	var got *symbee.Frame
+	tries := 0
+	for ; tries < 5; tries++ {
+		capture, err := ch.Transmit(sig)
+		if err != nil {
+			return err
+		}
+		if got, err = link.ReceiveFrame(capture); err == nil {
+			break
+		}
+	}
+	if got == nil {
+		return fmt.Errorf("reservation broadcast lost after %d tries", tries)
+	}
+	fmt.Printf("WiFi AP received reservation %q (try %d) — restraining for the window\n\n",
+		got.Data, tries+1)
+
+	// Step 2: compare ZigBee upload delivery with and without the
+	// honored reservation, under heavy WiFi background.
+	const (
+		horizon  = 0.5 // the reserved half second
+		nodes    = 12
+		rate     = 20.0 // packets/s/node
+		wifiDuty = 0.80 // heavy traffic when not restraining
+	)
+	airtime := zigbee.Airtime(104) // 100-bit SymBee packet
+
+	runRegime := func(duty float64, seed int64) mac.Stats {
+		rng := rand.New(rand.NewSource(seed))
+		sim, err := mac.NewSim(mac.DefaultConfig(), rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.AddWiFiBackground(horizon, duty, 2e-3)
+		packets := mac.PoissonArrivals(nodes, rate, horizon, airtime, rng)
+		return mac.Summarize(sim.Run(packets))
+	}
+
+	implicit := runRegime(wifiDuty, 7) // CSMA/CA only, WiFi blasting
+	explicit := runRegime(0.02, 7)     // reservation honored (residual beacons)
+
+	fmt.Printf("%-28s %-10s %-10s %-12s %-10s\n", "regime", "delivered", "collided", "access fail", "delay")
+	for _, row := range []struct {
+		name string
+		st   mac.Stats
+	}{
+		{"implicit CSMA/CA coexistence", implicit},
+		{"explicit SymBee reservation", explicit},
+	} {
+		fmt.Printf("%-28s %-10s %-10d %-12d %.1f ms\n",
+			row.name,
+			fmt.Sprintf("%d/%d", row.st.Delivered, row.st.Attempted),
+			row.st.Collided, row.st.AccessFailures, row.st.MeanDelay*1000)
+	}
+	fmt.Println("\nthe broadcast costs one ZigBee packet and reaches both technologies at once")
+	return nil
+}

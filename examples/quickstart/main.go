@@ -1,0 +1,60 @@
+// Quickstart: send "hello, wifi" from a simulated ZigBee node to a WiFi
+// receiver across an office at 10 m — the minimal end-to-end SymBee
+// flow: frame → payload encoding → OQPSK packet → channel → idle
+// listening phases → decode.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"symbee"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// One link object holds the encoder, the ZigBee modulator, the WiFi
+	// front-end and the decoder. CanonicalCompensation undoes the
+	// carrier offset between whatever overlapping WiFi/ZigBee channel
+	// pair is in use — it is the same constant for all of them.
+	link, err := symbee.NewLink(symbee.Params20(), symbee.CanonicalCompensation)
+	if err != nil {
+		return err
+	}
+
+	frame := &symbee.Frame{Seq: 1, Data: []byte("hello, wifi")[:symbee.MaxDataBytes]}
+	signal, err := link.TransmitFrame(frame)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("TX: frame seq=%d data=%q → ZigBee packet of %d IQ samples (%.0f µs)\n",
+		frame.Seq, frame.Data, len(signal), float64(len(signal))/20)
+
+	ch, err := symbee.NewChannel(symbee.ChannelConfig{
+		Scenario: "office",
+		Distance: 10,
+		Seed:     42,
+	})
+	if err != nil {
+		return err
+	}
+	capture, err := ch.Transmit(signal)
+	if err != nil {
+		return err
+	}
+
+	got, err := link.ReceiveFrame(capture)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("RX: frame seq=%d data=%q — decoded from WiFi idle-listening phases alone\n",
+		got.Seq, got.Data)
+	fmt.Printf("raw SymBee rate: %.2f kbps (1 bit per %.0f µs payload byte)\n",
+		symbee.RawBitRate/1000, symbee.Params20().BitDuration()*1e6)
+	return nil
+}

@@ -1,0 +1,3 @@
+module symbee
+
+go 1.22

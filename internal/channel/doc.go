@@ -1,0 +1,22 @@
+// Package channel simulates the wireless medium between a ZigBee
+// transmitter and a WiFi receiver, replacing the paper's physical
+// testbed (TelosB + USRP B210 in six indoor/outdoor sites).
+//
+// The model is layered:
+//
+//   - sample-level operators: AWGN at a target SNR, carrier-frequency
+//     offset, Rician/Rayleigh block fading, tapped-delay-line multipath,
+//     and WiFi interference bursts mixed at a target
+//     interference-to-noise ratio;
+//   - a link-budget layer: log-distance path loss with log-normal
+//     shadowing and per-wall attenuation, mapping (scenario, distance,
+//     TX power) to a mean SNR;
+//   - scenario presets for the paper's six evaluation sites (outdoor,
+//     library, classroom, dormitory, office, mall), plus the
+//     office-at-midnight and mobile variants used by Figs. 19 and 23.
+//
+// Power normalization: the receiver noise floor is fixed at unit power,
+// so a signal at SNR s dB has linear power 10^(s/10) and an interferer
+// at INR i dB has power 10^(i/10). All randomness flows from explicit
+// *rand.Rand instances so experiments are reproducible.
+package channel

@@ -1,0 +1,104 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+
+	"symbee/internal/dsp"
+	"symbee/internal/wifi"
+)
+
+// InterferenceConfig describes the ambient WiFi traffic in a scenario as
+// an on/off burst process.
+type InterferenceConfig struct {
+	// DutyCycle is the long-run fraction of airtime occupied by WiFi
+	// frames (0 disables interference).
+	DutyCycle float64
+	// BurstDuration is the mean WiFi frame airtime in seconds.
+	BurstDuration float64
+	// INRdB is the interference-to-noise ratio of one burst at the
+	// receiver in dB (noise floor is unit power).
+	INRdB float64
+}
+
+// Interferer mixes WiFi bursts into captures according to a config.
+type Interferer struct {
+	cfg        InterferenceConfig
+	sampleRate float64
+	tx         *wifi.Transmitter
+	rng        *rand.Rand
+	frame      []complex128 // cached template burst, re-scaled per mix
+}
+
+// NewInterferer returns an interferer; it is a no-op when cfg.DutyCycle
+// or cfg.BurstDuration is zero.
+func NewInterferer(cfg InterferenceConfig, sampleRate float64, rng *rand.Rand) (*Interferer, error) {
+	in := &Interferer{cfg: cfg, sampleRate: sampleRate, tx: wifi.NewTransmitter(rng), rng: rng}
+	if cfg.DutyCycle > 0 && cfg.BurstDuration > 0 {
+		frame, err := in.tx.FrameForDuration(cfg.BurstDuration)
+		if err != nil {
+			return nil, err
+		}
+		in.frame = frame
+	}
+	return in, nil
+}
+
+// MixInto overlays WiFi bursts onto x. Burst arrivals follow a geometric
+// (memoryless) gap process whose mean matches the configured duty cycle;
+// a burst may straddle the start or end of the capture, as real
+// interference does.
+func (in *Interferer) MixInto(x []complex128) {
+	if in.frame == nil || len(x) == 0 {
+		return
+	}
+	burstLen := len(in.frame)
+	meanGap := float64(burstLen) * (1 - in.cfg.DutyCycle) / in.cfg.DutyCycle
+	amp := math.Sqrt(dsp.FromDB(in.cfg.INRdB))
+	scaled := make([]complex128, burstLen)
+	for i, v := range in.frame {
+		scaled[i] = v * complex(amp, 0)
+	}
+	// Start before the capture so a burst can straddle the beginning.
+	pos := -burstLen + in.gap(meanGap)
+	for pos < len(x) {
+		dsp.MixInto(x, scaled, pos)
+		pos += burstLen + in.gap(meanGap)
+	}
+}
+
+func (in *Interferer) gap(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	g := int(in.rng.ExpFloat64() * mean)
+	// Enforce a minimal DIFS-like spacing so bursts do not fuse into one
+	// continuous jammer at high duty cycles.
+	const minGap = 50
+	if g < minGap {
+		g = minGap
+	}
+	return g
+}
+
+// MixAtSINR overlays interference onto signal so that the
+// signal-to-interference ratio over the interfered span equals sinrDB,
+// starting at sample offset. It is the trace-driven mixer behind
+// Figs. 20-21 (noise is accounted separately by the caller). The
+// interference slice is scaled to a copy; inputs are not modified.
+func MixAtSINR(signal, interference []complex128, offset int, sinrDB float64) []complex128 {
+	out := make([]complex128, len(signal))
+	copy(out, signal)
+	ps := dsp.Power(signal)
+	pi := dsp.Power(interference)
+	if pi == 0 || ps == 0 {
+		return out
+	}
+	amp := math.Sqrt(ps / dsp.FromDB(sinrDB) / pi)
+	scaled := make([]complex128, len(interference))
+	for i, v := range interference {
+		scaled[i] = v * complex(amp, 0)
+	}
+	dsp.MixInto(out, scaled, offset)
+	return out
+}

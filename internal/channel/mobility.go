@@ -1,0 +1,113 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Wavelength24GHz is the carrier wavelength in the 2.4 GHz ISM band.
+const Wavelength24GHz = 0.125
+
+// MobilityConfig models a moving ZigBee sender carried by a person or
+// bicycle (Fig. 23): Doppler-rate fading plus intermittent body/bag
+// blockage.
+type MobilityConfig struct {
+	// SpeedMps is the sender speed in meters/second.
+	SpeedMps float64
+	// RicianK of the fading while unblocked (the moving body scatters,
+	// so this is lower than for a static LOS link).
+	RicianK float64
+	// BlockageRate is the mean number of blockage episodes per second.
+	BlockageRate float64
+	// BlockageLossDB attenuates the signal during a blockage episode.
+	BlockageLossDB float64
+	// BlockageDuration is the mean blockage episode length in seconds.
+	BlockageDuration float64
+}
+
+// mobilityTrack realizes a continuous fading gain across transmissions:
+// complex gains drawn at channel-coherence knots and interpolated
+// between them, with an on/off blockage telegraph process on top.
+type mobilityTrack struct {
+	cfg        MobilityConfig
+	sampleRate float64
+	rng        *rand.Rand
+
+	knotInterval int // samples between fading knots
+	prevGain     complex128
+	nextGain     complex128
+	knotPos      int // sample position within the current knot interval
+
+	blocked      bool
+	blockSamples int // samples remaining in the current blockage state
+}
+
+func newMobilityTrack(cfg MobilityConfig, sampleRate float64, rng *rand.Rand) *mobilityTrack {
+	fd := cfg.SpeedMps / Wavelength24GHz // max Doppler shift, Hz
+	coherence := 1.0                     // seconds; effectively static if no speed
+	if fd > 0 {
+		coherence = 0.423 / fd
+	}
+	// Four knots per coherence time give a smooth track.
+	ki := int(coherence / 4 * sampleRate)
+	if ki < 1 {
+		ki = 1
+	}
+	t := &mobilityTrack{
+		cfg:          cfg,
+		sampleRate:   sampleRate,
+		rng:          rng,
+		knotInterval: ki,
+		prevGain:     RicianGain(cfg.RicianK, rng),
+		nextGain:     RicianGain(cfg.RicianK, rng),
+	}
+	t.blockSamples = t.drawStateLen(false)
+	return t
+}
+
+func (t *mobilityTrack) drawStateLen(blocked bool) int {
+	var mean float64
+	if blocked {
+		mean = t.cfg.BlockageDuration
+	} else {
+		if t.cfg.BlockageRate <= 0 {
+			return math.MaxInt64 / 2
+		}
+		mean = 1 / t.cfg.BlockageRate
+	}
+	if mean <= 0 {
+		mean = 1e-3
+	}
+	n := int(t.rng.ExpFloat64() * mean * t.sampleRate)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// apply multiplies sig in place by the evolving fading gain. The track
+// persists across calls, so consecutive packets see a continuous
+// channel.
+func (t *mobilityTrack) apply(sig []complex128) {
+	blockAmp := complex(math.Sqrt(math.Pow(10, -t.cfg.BlockageLossDB/10)), 0)
+	for i := range sig {
+		frac := float64(t.knotPos) / float64(t.knotInterval)
+		g := t.prevGain*complex(1-frac, 0) + t.nextGain*complex(frac, 0)
+		if t.blocked {
+			g *= blockAmp
+		}
+		sig[i] *= g
+
+		t.knotPos++
+		if t.knotPos >= t.knotInterval {
+			t.knotPos = 0
+			t.prevGain = t.nextGain
+			t.nextGain = RicianGain(t.cfg.RicianK, t.rng)
+		}
+		t.blockSamples--
+		if t.blockSamples <= 0 {
+			t.blocked = !t.blocked
+			t.blockSamples = t.drawStateLen(t.blocked)
+		}
+	}
+}

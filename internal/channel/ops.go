@@ -1,0 +1,102 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+
+	"symbee/internal/dsp"
+)
+
+// AddAWGN adds complex white Gaussian noise of total power noisePower to
+// x in place (noisePower/2 per real dimension).
+func AddAWGN(x []complex128, noisePower float64, rng *rand.Rand) {
+	if noisePower <= 0 {
+		return
+	}
+	s := math.Sqrt(noisePower / 2)
+	for i := range x {
+		x[i] += complex(rng.NormFloat64()*s, rng.NormFloat64()*s)
+	}
+}
+
+// AddNoiseAtSNR scales nothing but adds noise such that the resulting
+// SNR (signal power over noise power) is snrDB, measured against the
+// current mean power of x. It returns the noise power used.
+func AddNoiseAtSNR(x []complex128, snrDB float64, rng *rand.Rand) float64 {
+	p := dsp.Power(x)
+	if p == 0 {
+		return 0
+	}
+	np := p / dsp.FromDB(snrDB)
+	AddAWGN(x, np, rng)
+	return np
+}
+
+// ApplyCFO rotates x in place by the carrier-frequency offset fDelta Hz
+// at the given sample rate, modelling a ZigBee signal landing off-center
+// in the WiFi baseband.
+func ApplyCFO(x []complex128, fDelta, sampleRate float64) {
+	dsp.RotateFrequency(x, fDelta, sampleRate, 0)
+}
+
+// RicianGain draws one complex block-fading gain with Rician factor k
+// (ratio of line-of-sight power to scattered power; k→∞ is a pure LOS
+// channel, k=0 is Rayleigh). The gain has unit mean power.
+func RicianGain(k float64, rng *rand.Rand) complex128 {
+	if k < 0 {
+		k = 0
+	}
+	losAmp := math.Sqrt(k / (k + 1))
+	scatter := math.Sqrt(1 / (k + 1) / 2)
+	phi := rng.Float64() * 2 * math.Pi
+	los := complex(losAmp*math.Cos(phi), losAmp*math.Sin(phi))
+	nlos := complex(rng.NormFloat64()*scatter, rng.NormFloat64()*scatter)
+	return los + nlos
+}
+
+// MultipathProfile describes a sparse tapped-delay-line channel. Tap
+// delays are in samples at the receiver rate; tap powers are linear and
+// are normalized to sum to 1 when applied.
+type MultipathProfile struct {
+	DelaysSamples []int
+	Powers        []float64
+	// RicianK applies to the first (main) tap; later taps are Rayleigh.
+	RicianK float64
+}
+
+// Apply draws random complex tap gains from the profile and convolves x
+// with them, returning a new slice of the same length with unit mean
+// channel power.
+func (p *MultipathProfile) Apply(x []complex128, rng *rand.Rand) []complex128 {
+	if p == nil || len(p.DelaysSamples) == 0 {
+		return x
+	}
+	var total float64
+	for _, pw := range p.Powers {
+		total += pw
+	}
+	gains := make([]complex128, len(p.DelaysSamples))
+	for i := range gains {
+		k := 0.0
+		if i == 0 {
+			k = p.RicianK
+		}
+		g := RicianGain(k, rng)
+		gains[i] = g * complex(math.Sqrt(p.Powers[i]/total), 0)
+	}
+	return dsp.DelaySum(x, p.DelaysSamples, gains)
+}
+
+// TypicalIndoorMultipath returns a 3-tap indoor profile at the given
+// sample rate: taps at 0, 50 and 150 ns with exponentially decaying
+// power and a line-of-sight factor k on the first tap.
+func TypicalIndoorMultipath(sampleRate, ricianK float64) *MultipathProfile {
+	toSamples := func(sec float64) int {
+		return int(math.Round(sec * sampleRate))
+	}
+	return &MultipathProfile{
+		DelaysSamples: []int{0, toSamples(50e-9), toSamples(150e-9)},
+		Powers:        []float64{1, 0.4, 0.15},
+		RicianK:       ricianK,
+	}
+}

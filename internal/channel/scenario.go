@@ -1,0 +1,173 @@
+package channel
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Scenario bundles the radio environment of one evaluation site. The six
+// presets mirror the paper's Fig. 15 sites; parameter values are
+// calibrated so the simulated SNR/interference statistics reproduce the
+// throughput and BER trends of Figs. 13-14 (see EXPERIMENTS.md for the
+// calibration record).
+type Scenario struct {
+	// Name identifies the site ("outdoor", "library", ...).
+	Name string
+	// Budget is the distance → SNR link budget.
+	Budget LinkBudget
+	// Interference is the background WiFi traffic at the receiver.
+	Interference InterferenceConfig
+	// Multipath, when true, applies an indoor tapped-delay-line channel
+	// with Rician factor FadingK on the main tap; otherwise a flat
+	// block-fading gain with FadingK is used (outdoor).
+	Multipath bool
+	// FadingK is the Rician K-factor of the dominant path.
+	FadingK float64
+}
+
+// Config materializes a channel Config for one packet at the given
+// distance (meters), TX power (dBm) and wall count, drawing the
+// shadowing realization from rng.
+func (s Scenario) Config(sampleRate, distance, txPowerDBm float64, walls int, rng *rand.Rand) Config {
+	cfg := Config{
+		SampleRate:   sampleRate,
+		SNRdB:        s.Budget.DrawSNR(distance, txPowerDBm, walls, rng),
+		FreqOffset:   DefaultFreqOffset,
+		Interference: s.Interference,
+		Pad:          1024,
+	}
+	if s.Multipath {
+		cfg.Multipath = TypicalIndoorMultipath(sampleRate, s.FadingK)
+	} else {
+		cfg.BlockFading = true
+		cfg.RicianK = s.FadingK
+	}
+	return cfg
+}
+
+// DefaultFreqOffset is the carrier offset used by scenario configs:
+// ZigBee channel 13 (2.415 GHz) observed by WiFi channel 1 (2.412 GHz),
+// i.e. +3 MHz — the canonical Appendix B case.
+const DefaultFreqOffset = 3e6
+
+// Preset scenario names.
+const (
+	Outdoor   = "outdoor"
+	Library   = "library"
+	Classroom = "classroom"
+	Dormitory = "dormitory"
+	Office    = "office"
+	Mall      = "mall"
+	// OfficeMidnight is the Fig. 19 variant: office multipath without
+	// daytime WiFi traffic.
+	OfficeMidnight = "office-midnight"
+)
+
+// Presets returns the paper's six evaluation scenarios in presentation
+// order (Fig. 15), freshly allocated so callers may tweak them.
+func Presets() []Scenario {
+	return []Scenario{
+		preset(Outdoor),
+		preset(Library),
+		preset(Classroom),
+		preset(Dormitory),
+		preset(Office),
+		preset(Mall),
+	}
+}
+
+// ByName returns the preset with the given name.
+func ByName(name string) (Scenario, error) {
+	switch name {
+	case Outdoor, Library, Classroom, Dormitory, Office, Mall, OfficeMidnight:
+		return preset(name), nil
+	}
+	return Scenario{}, fmt.Errorf("channel: unknown scenario %q", name)
+}
+
+func preset(name string) Scenario {
+	switch name {
+	case Outdoor:
+		// Open field: near-free-space decay, strong LOS, no WiFi around.
+		return Scenario{
+			Name:    name,
+			Budget:  LinkBudget{SNR1m: 34, Exponent: 2.0, ShadowSigma: 2, WallLoss: 6},
+			FadingK: 15,
+		}
+	case Classroom:
+		// Large room, campus WiFi mostly idle during lectures.
+		return Scenario{
+			Name:   name,
+			Budget: LinkBudget{SNR1m: 33.5, Exponent: 2.1, ShadowSigma: 2.5, WallLoss: 6},
+			Interference: InterferenceConfig{
+				DutyCycle: 0.03, BurstDuration: 400e-6, INRdB: 9,
+			},
+			Multipath: true,
+			FadingK:   10,
+		}
+	case Office:
+		// Cubicles and walls; most machines are wired, light WiFi.
+		return Scenario{
+			Name:   name,
+			Budget: LinkBudget{SNR1m: 33.5, Exponent: 2.15, ShadowSigma: 2.5, WallLoss: 4},
+			Interference: InterferenceConfig{
+				DutyCycle: 0.08, BurstDuration: 400e-6, INRdB: 9,
+			},
+			Multipath: true,
+			FadingK:   9,
+		}
+	case Dormitory:
+		// More private APs and users than the office.
+		return Scenario{
+			Name:   name,
+			Budget: LinkBudget{SNR1m: 34.5, Exponent: 2.2, ShadowSigma: 3, WallLoss: 6},
+			Interference: InterferenceConfig{
+				DutyCycle: 0.12, BurstDuration: 400e-6, INRdB: 10,
+			},
+			Multipath: true,
+			FadingK:   8,
+		}
+	case Library:
+		// Everyone on campus WiFi: heaviest interference of the six.
+		return Scenario{
+			Name:   name,
+			Budget: LinkBudget{SNR1m: 35, Exponent: 2.2, ShadowSigma: 3, WallLoss: 6},
+			Interference: InterferenceConfig{
+				DutyCycle: 0.25, BurstDuration: 500e-6, INRdB: 9,
+			},
+			Multipath: true,
+			FadingK:   8,
+		}
+	case Mall:
+		// Shopper blockage (low K, higher shadowing) plus store APs.
+		return Scenario{
+			Name:   name,
+			Budget: LinkBudget{SNR1m: 33.4, Exponent: 2.25, ShadowSigma: 4, WallLoss: 6},
+			Interference: InterferenceConfig{
+				DutyCycle: 0.22, BurstDuration: 500e-6, INRdB: 10,
+			},
+			Multipath: true,
+			FadingK:   6,
+		}
+	case OfficeMidnight:
+		s := preset(Office)
+		s.Name = OfficeMidnight
+		s.Interference = InterferenceConfig{}
+		return s
+	}
+	panic("channel: unreachable preset " + name)
+}
+
+// MobilityPreset returns the Fig. 23 track-and-field configuration for a
+// sender moving at speedMps: the faster the carrier, the lower the
+// Rician K (more body scattering) and the more frequent the blockage
+// episodes from the swinging bag/body/bicycle frame.
+func MobilityPreset(speedMps float64) MobilityConfig {
+	return MobilityConfig{
+		SpeedMps:         speedMps,
+		RicianK:          6 / (1 + speedMps/2),
+		BlockageRate:     0.8 + 0.1*speedMps,
+		BlockageLossDB:   10,
+		BlockageDuration: 0.1,
+	}
+}

@@ -1,0 +1,28 @@
+package channel
+
+import "math"
+
+// ApplySFO resamples x by a sampling-frequency offset of ppm parts per
+// million (receiver clock faster for positive ppm), using linear
+// interpolation. Real ZigBee crystals are specified at ±40 ppm; over a
+// 3.5 ms SymBee packet that slides the sample grid by a couple of
+// samples, which the decoder's stable-run margins must absorb. The
+// output has the same length as the input (tail samples beyond the
+// source are zero).
+func ApplySFO(x []complex128, ppm float64) []complex128 {
+	if ppm == 0 {
+		return x
+	}
+	ratio := 1 + ppm*1e-6
+	out := make([]complex128, len(x))
+	for n := range out {
+		pos := float64(n) * ratio
+		i := int(math.Floor(pos))
+		if i+1 >= len(x) {
+			break
+		}
+		frac := pos - float64(i)
+		out[n] = x[i]*complex(1-frac, 0) + x[i+1]*complex(frac, 0)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestApplySFOZeroIsIdentity(t *testing.T) {
+	x := []complex128{1, 2i, 3}
+	if got := ApplySFO(x, 0); &got[0] != &x[0] {
+		t.Error("zero ppm should return the input unchanged")
+	}
+}
+
+func TestApplySFOShiftsGrid(t *testing.T) {
+	// A pure tone resampled at +100 ppm is the same tone at a 100 ppm
+	// higher apparent frequency; check the phase drift at the tail.
+	const (
+		n    = 100000
+		ppm  = 100.0
+		freq = 0.5e6
+		rate = 20e6
+	)
+	x := make([]complex128, n)
+	for i := range x {
+		ang := 2 * math.Pi * freq * float64(i) / rate
+		x[i] = cmplx.Exp(complex(0, ang))
+	}
+	y := ApplySFO(x, ppm)
+	// At sample n/2, expected phase advance vs original:
+	// 2π·freq/rate·(n/2)·ppm·1e-6.
+	k := n / 2
+	wantShift := 2 * math.Pi * freq / rate * float64(k) * ppm * 1e-6
+	gotShift := cmplx.Phase(y[k] * cmplx.Conj(x[k]))
+	if math.Abs(gotShift-wantShift) > 0.05 {
+		t.Errorf("phase drift at %d = %v, want %v", k, gotShift, wantShift)
+	}
+	// Tail must be zero-padded, not garbage.
+	if y[n-1] != 0 && cmplx.Abs(y[n-1]) > 1.001 {
+		t.Errorf("tail sample = %v", y[n-1])
+	}
+}

@@ -1,0 +1,37 @@
+// Package core implements SymBee itself — the paper's contribution: a
+// symbol-level ZigBee→WiFi cross-technology communication scheme based
+// on payload encoding.
+//
+// # Encoding (at the ZigBee sender, §IV-A)
+//
+// A SymBee bit is one byte in the payload of a legitimate ZigBee packet:
+// byte 0x67 (symbols 6,7) carries bit 0 and byte 0xEF (symbols E,F)
+// carries bit 1. These two symbol pairs are the unique combinations
+// whose I/Q waveforms stay continuously sinusoidal for 5 µs across the
+// symbol junction, so they cross-observe at the WiFi idle listening as
+// the longest possible stable-phase runs (84 values at 20 Msps) at the
+// two extreme phases ±4π/5.
+//
+// # Sign convention
+//
+// With the standard chip polarity implemented in package zigbee, (6,7)
+// cross-observes at +4π/5 and (E,F) at −4π/5. The paper's prose is
+// internally inconsistent about which sign carries which bit (see
+// DESIGN.md); this package fixes bit 0 = (6,7) = nonnegative stable
+// phase, bit 1 = (E,F) = negative, matching §IV-A's byte assignment and
+// §IV-B's phase derivation.
+//
+// # Decoding (at the WiFi receiver, §IV-C, §V)
+//
+// The decoder consumes the phase stream ∠p[n] that the WiFi
+// idle-listening block computes anyway. Unsynchronized decoding slides
+// an 84-value window and emits a bit whenever at least 84−τ values share
+// a sign. Synchronized decoding first captures the SymBee preamble
+// (four bit-0 bytes) by folding the phase stream with period 640 and
+// depth 4, then majority-votes exactly the 84 stable values of each bit
+// position (threshold τ_sync = 42). A constant +4π/5 compensation
+// removes the ZigBee/WiFi channel frequency offset (Appendix B).
+//
+// All sample counts scale with the receiver rate: at 40 Msps the lag is
+// 32, the stable run 168 values, and the bit period 1280 (§VI-B).
+package core

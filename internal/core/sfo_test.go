@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"symbee/internal/channel"
+	"symbee/internal/wifi"
+)
+
+// TestDecodeToleratesClockOffset checks a realism property the paper's
+// testbed had implicitly: ZigBee crystals are ±40 ppm, so the receiver's
+// sample grid slides relative to the transmission by a few samples over
+// a packet. The stable-run margins (run ≈100 samples, window 84) must
+// absorb that drift.
+func TestDecodeToleratesClockOffset(t *testing.T) {
+	p := Params20()
+	l := mustLink(t, p, wifi.CanonicalCompensation)
+	rng := rand.New(rand.NewSource(71))
+	bits := randomBits(80, rng)
+	sig, err := l.TransmitBits(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ppm := range []float64{-40, -20, 20, 40} {
+		drifted := channel.ApplySFO(sig, ppm)
+		m, err := channel.NewMedium(channel.Config{
+			SampleRate: p.SampleRate,
+			SNRdB:      8,
+			FreqOffset: channel.DefaultFreqOffset,
+			Pad:        400,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := l.ReceiveBits(m.Transmit(drifted), len(bits))
+		if err != nil {
+			t.Errorf("ppm %+.0f: %v", ppm, err)
+			continue
+		}
+		if !bytes.Equal(got, bits) {
+			errs := 0
+			for k := range bits {
+				if got[k] != bits[k] {
+					errs++
+				}
+			}
+			t.Errorf("ppm %+.0f: %d/%d bit errors", ppm, errs, len(bits))
+		}
+	}
+}

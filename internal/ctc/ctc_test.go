@@ -1,0 +1,162 @@
+package ctc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMediumBurstsAndDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewMedium(1.0, 100e3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddBurst(0.1, 0.001, 20)
+	m.AddBurst(0.2, 0.003, 20)
+	bursts := m.DetectBursts(6, 0.2e-3, 0.3e-3)
+	if len(bursts) != 2 {
+		t.Fatalf("detected %d bursts, want 2: %+v", len(bursts), bursts)
+	}
+	if math.Abs(bursts[0].Start-0.1) > 1e-4 || math.Abs(bursts[0].Duration-0.001) > 2e-4 {
+		t.Errorf("burst 0 = %+v", bursts[0])
+	}
+	if math.Abs(bursts[1].Duration-0.003) > 2e-4 {
+		t.Errorf("burst 1 = %+v", bursts[1])
+	}
+}
+
+func TestMediumValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := NewMedium(0, 100e3, rng); err == nil {
+		t.Error("expected error for zero duration")
+	}
+	if _, err := NewMedium(1, 0, rng); err == nil {
+		t.Error("expected error for zero rate")
+	}
+}
+
+func TestMediumInterferenceDuty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewMedium(5, 100e3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AddInterference(0.3, 1e-3, 20, rng)
+	bursts := m.DetectBursts(6, 0.2e-3, 0.3e-3)
+	var busy float64
+	for _, b := range bursts {
+		busy += b.Duration
+	}
+	duty := busy / m.Duration()
+	if duty < 0.2 || duty > 0.4 {
+		t.Errorf("observed duty = %v, want ≈0.3", duty)
+	}
+}
+
+func TestNominalRates(t *testing.T) {
+	// The published operating points the Fig. 16 comparison relies on.
+	tests := []struct {
+		s        Scheme
+		lo, hi   float64
+		wantName string
+	}{
+		{NewFreeBee(), 15, 25, "FreeBee"},
+		{NewAFreeBee(), 40, 60, "A-FreeBee"},
+		{NewEMF(), 350, 450, "EMF"},
+		{NewDCTC(), 350, 500, "DCTC"},
+		{NewCMorse(), 200, 230, "C-Morse"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Name(); got != tt.wantName {
+			t.Errorf("name = %s, want %s", got, tt.wantName)
+		}
+		r := tt.s.NominalRate()
+		if r < tt.lo || r > tt.hi {
+			t.Errorf("%s nominal rate = %v bps, want [%v,%v]", tt.s.Name(), r, tt.lo, tt.hi)
+		}
+	}
+}
+
+func TestSchemesRoundTripClean(t *testing.T) {
+	// Every scheme must decode its own bits exactly on a clean medium.
+	rng := rand.New(rand.NewSource(4))
+	for _, s := range All() {
+		t.Run(s.Name(), func(t *testing.T) {
+			bits := make([]byte, 40)
+			for i := range bits {
+				bits[i] = byte(rng.Intn(2))
+			}
+			duration := float64(len(bits))/s.NominalRate()*1.5 + 1
+			m, err := NewMedium(duration, 100e3, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Encode(m, bits, 0.1, 20); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Decode(m, len(bits))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(bits) {
+				t.Fatalf("decoded %d bits, want %d", len(got), len(bits))
+			}
+			for i := range bits {
+				if got[i] != bits[i] {
+					t.Fatalf("bit %d = %d, want %d", i, got[i], bits[i])
+				}
+			}
+		})
+	}
+}
+
+func TestMeasureCleanGoodputNearNominal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, s := range All() {
+		res, err := Measure(s, 60, 20, nil, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.BER > 0.02 {
+			t.Errorf("%s: clean BER = %v", s.Name(), res.BER)
+		}
+		if res.Goodput < 0.6*s.NominalRate() || res.Goodput > 1.4*s.NominalRate() {
+			t.Errorf("%s: goodput %v vs nominal %v", s.Name(), res.Goodput, s.NominalRate())
+		}
+	}
+}
+
+func TestMeasureUnderInterferenceDegrades(t *testing.T) {
+	// Packet-level schemes must suffer under WiFi interference (their
+	// fundamental weakness vs SymBee's phase-level decoding).
+	rng := rand.New(rand.NewSource(6))
+	env := &InterferenceEnv{DutyCycle: 0.3, BurstDuration: 2e-3, INRdB: 20}
+	degraded := 0
+	for _, s := range All() {
+		res, err := Measure(s, 60, 20, env, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.BER > 0.05 {
+			degraded++
+		}
+	}
+	if degraded < 3 {
+		t.Errorf("only %d/5 schemes degraded under 30%% interference", degraded)
+	}
+}
+
+func TestEncodeTooShortMedium(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, err := NewMedium(0.01, 100e3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := make([]byte, 100)
+	for _, s := range All() {
+		if _, err := s.Encode(m, bits, 0, 20); err == nil {
+			t.Errorf("%s: expected error on too-short medium", s.Name())
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package ctc implements the packet-level cross-technology
+// communication schemes the paper compares against in Fig. 16:
+//
+//   - C-Morse   (Yin et al., INFOCOM'17)  — Morse-style packet durations
+//   - FreeBee   (Kim & He, MobiCom'15)    — beacon timing shifts
+//   - A-FreeBee (FreeBee, aggregated)     — finer shifts, no repetition
+//   - EMF       (Chi et al., INFOCOM'17)  — energy patterns in traffic
+//   - DCTC      (Jiang et al., INFOCOM'17)— inter-packet gap modulation
+//
+// All of them convey information with whole ZigBee packets as the
+// modulation unit and are received by WiFi energy sensing (RSSI), which
+// is why their throughput is bounded by packet airtimes — the paper's
+// motivation for symbol-level CTC (§II-B).
+//
+// The schemes share a Medium: an RSSI trace at a configurable sampling
+// rate onto which transmitters place energy bursts and from which
+// receivers detect bursts by thresholding. Parameters (packet
+// durations, beacon intervals, slot sizes) follow each scheme's
+// published configuration closely enough to land at its published data
+// rate; DESIGN.md records the modelling choices.
+package ctc

@@ -1,0 +1,93 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. The length of x must be a power of two. The forward
+// transform uses the engineering sign convention
+//
+//	X[k] = Σ_n x[n]·exp(-j·2πkn/N)
+//
+// It returns x for chaining.
+func FFT(x []complex128) []complex128 {
+	return fftDir(x, false)
+}
+
+// IFFT computes the inverse FFT of x in place, including the 1/N
+// normalization, and returns x.
+func IFFT(x []complex128) []complex128 {
+	fftDir(x, true)
+	scale := 1 / float64(len(x))
+	for i := range x {
+		x[i] *= complex(scale, 0)
+	}
+	return x
+}
+
+func fftDir(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return x
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return x
+}
+
+// NextPow2 returns the smallest power of two that is >= n (and >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// SpectrumPower returns the power spectrum |FFT(x)|²/N of x zero-padded
+// to the next power of two. Used by diagnostics and tests to confirm the
+// ZigBee baseband occupies ~2 MHz and that the (6,7)/(E,F) stable regions
+// concentrate at ±0.5 MHz.
+func SpectrumPower(x []complex128) []float64 {
+	n := NextPow2(len(x))
+	buf := make([]complex128, n)
+	copy(buf, x)
+	FFT(buf)
+	out := make([]float64, n)
+	inv := 1 / float64(n)
+	for i, v := range buf {
+		re, im := real(v), imag(v)
+		out[i] = (re*re + im*im) * inv
+	}
+	return out
+}

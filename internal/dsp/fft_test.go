@@ -1,0 +1,105 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestFFTKnownTone(t *testing.T) {
+	// A pure tone at bin 3 of a 16-point FFT.
+	const n = 16
+	x := make([]complex128, n)
+	for i := range x {
+		ang := 2 * math.Pi * 3 * float64(i) / n
+		x[i] = cmplx.Exp(complex(0, ang))
+	}
+	FFT(x)
+	for k := range x {
+		mag := cmplx.Abs(x[k])
+		if k == 3 {
+			if math.Abs(mag-n) > 1e-9 {
+				t.Errorf("bin 3 magnitude = %v, want %v", mag, float64(n))
+			}
+		} else if mag > 1e-9 {
+			t.Errorf("bin %d magnitude = %v, want 0", k, mag)
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 8, 64, 256, 1024} {
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			orig[i] = x[i]
+		}
+		IFFT(FFT(x))
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				t.Fatalf("n=%d: round trip mismatch at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 128
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	timeEnergy := Energy(x)
+	X := make([]complex128, n)
+	copy(X, x)
+	FFT(X)
+	freqEnergy := Energy(X) / n
+	if math.Abs(timeEnergy-freqEnergy) > 1e-6*timeEnergy {
+		t.Errorf("Parseval violated: time %v, freq %v", timeEnergy, freqEnergy)
+	}
+}
+
+func TestFFTNonPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two length")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestNextPow2(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024}, {1024, 1024},
+	}
+	for _, tt := range tests {
+		if got := NextPow2(tt.in); got != tt.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestSpectrumPowerTone(t *testing.T) {
+	// 0.5 MHz tone at 20 Msps over 400 samples pads to 512; peak bin
+	// should be near 0.5/20*512 = 12.8 → bin 13.
+	const n = 400
+	x := make([]complex128, n)
+	for i := range x {
+		ang := 2 * math.Pi * 0.5e6 * float64(i) / 20e6
+		x[i] = cmplx.Exp(complex(0, ang))
+	}
+	spec := SpectrumPower(x)
+	best := 0
+	for k, p := range spec {
+		if p > spec[best] {
+			best = k
+		}
+	}
+	if best < 12 || best > 14 {
+		t.Errorf("peak bin = %d, want ~13", best)
+	}
+}

@@ -1,0 +1,111 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFoldBasic(t *testing.T) {
+	// Period 3, reps 2: columns sum pairwise.
+	x := []float64{1, 2, 3, 10, 20, 30}
+	got := Fold(x, 3, 2)
+	want := []float64{11, 22, 33}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Fold[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFoldAt(t *testing.T) {
+	x := []float64{99, 1, 2, 3, 10, 20, 30}
+	got := FoldAt(x, 1, 3, 2)
+	want := []float64{11, 22, 33}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("FoldAt[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFoldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for short input")
+		}
+	}()
+	Fold([]float64{1, 2}, 3, 2)
+}
+
+func TestFoldAmplifiesPeriodicSignal(t *testing.T) {
+	// A periodic pulse buried in noise should stand out in the fold sum:
+	// the core claim behind SymBee preamble capture (Fig. 11).
+	const (
+		period = 640
+		reps   = 4
+	)
+	rng := rand.New(rand.NewSource(42))
+	x := make([]float64, period*reps)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 1.5 // heavy noise
+	}
+	// Embed a +1.0 plateau of length 84 at offset 100 in every period.
+	for r := 0; r < reps; r++ {
+		for k := 0; k < 84; k++ {
+			x[r*period+100+k] += 2.0
+		}
+	}
+	sum := Fold(x, period, reps)
+	inside := Mean(sum[100:184])
+	outside := Mean(append(append([]float64{}, sum[:100]...), sum[184:]...))
+	if inside < outside+4 {
+		t.Errorf("fold sum did not amplify plateau: inside %.2f, outside %.2f", inside, outside)
+	}
+}
+
+func TestSlidingFolderMatchesFold(t *testing.T) {
+	const (
+		period = 7
+		reps   = 3
+		n      = 100
+	)
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	f := NewSlidingFolder(period, reps)
+	win := period * reps
+	for i, v := range x {
+		sum, ok := f.Push(v)
+		if i < win-1 {
+			if ok {
+				t.Fatalf("ok=true before window filled at i=%d", i)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("ok=false after window filled at i=%d", i)
+		}
+		start := i - win + 1
+		want := 0.0
+		for r := 0; r < reps; r++ {
+			want += x[start+r*period]
+		}
+		if math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("sliding fold at %d = %v, want %v", i, sum, want)
+		}
+	}
+}
+
+func TestSlidingFolderReset(t *testing.T) {
+	f := NewSlidingFolder(2, 2)
+	for i := 0; i < 4; i++ {
+		f.Push(1)
+	}
+	f.Reset()
+	if _, ok := f.Push(1); ok {
+		t.Error("expected not-full after Reset")
+	}
+}

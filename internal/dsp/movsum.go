@@ -1,0 +1,88 @@
+package dsp
+
+// MovingSignCounter maintains, over a sliding window of fixed size, the
+// number of negative values in the window. The SymBee decoder slides an
+// 84-value window over the phase stream and checks whether at least
+// window-τ values share a sign (§IV-C); this counter makes that an O(1)
+// per-sample operation.
+type MovingSignCounter struct {
+	ring []float64
+	pos  int
+	fill int
+	neg  int
+}
+
+// NewMovingSignCounter returns a counter with the given window size.
+func NewMovingSignCounter(window int) *MovingSignCounter {
+	if window <= 0 {
+		panic("dsp: NewMovingSignCounter window must be positive")
+	}
+	return &MovingSignCounter{ring: make([]float64, window)}
+}
+
+// Push adds v to the window, evicting the oldest value when full.
+// It reports whether the window is full, along with the current counts
+// of negative and nonnegative values in the window.
+func (c *MovingSignCounter) Push(v float64) (full bool, neg, nonneg int) {
+	if c.fill == len(c.ring) {
+		if c.ring[c.pos] < 0 {
+			c.neg--
+		}
+	} else {
+		c.fill++
+	}
+	c.ring[c.pos] = v
+	if v < 0 {
+		c.neg++
+	}
+	c.pos++
+	if c.pos == len(c.ring) {
+		c.pos = 0
+	}
+	return c.fill == len(c.ring), c.neg, c.fill - c.neg
+}
+
+// Reset empties the window.
+func (c *MovingSignCounter) Reset() {
+	c.pos, c.fill, c.neg = 0, 0, 0
+}
+
+// Window returns the window size.
+func (c *MovingSignCounter) Window() int { return len(c.ring) }
+
+// MovingAverage maintains a sliding-window mean over a float stream,
+// used by the RSSI-based baseline CTC receivers.
+type MovingAverage struct {
+	ring []float64
+	pos  int
+	fill int
+	sum  float64
+}
+
+// NewMovingAverage returns a moving average with the given window size.
+func NewMovingAverage(window int) *MovingAverage {
+	if window <= 0 {
+		panic("dsp: NewMovingAverage window must be positive")
+	}
+	return &MovingAverage{ring: make([]float64, window)}
+}
+
+// Push adds v and returns the mean over the (possibly partially filled)
+// window.
+func (a *MovingAverage) Push(v float64) float64 {
+	if a.fill == len(a.ring) {
+		a.sum -= a.ring[a.pos]
+	} else {
+		a.fill++
+	}
+	a.ring[a.pos] = v
+	a.sum += v
+	a.pos++
+	if a.pos == len(a.ring) {
+		a.pos = 0
+	}
+	return a.sum / float64(a.fill)
+}
+
+// Full reports whether the window has been completely filled.
+func (a *MovingAverage) Full() bool { return a.fill == len(a.ring) }

@@ -1,0 +1,104 @@
+package dsp
+
+import "math"
+
+// WrapPhase wraps an angle in radians to the interval (-π, π].
+func WrapPhase(phi float64) float64 {
+	phi = math.Mod(phi, 2*math.Pi)
+	switch {
+	case phi > math.Pi:
+		phi -= 2 * math.Pi
+	case phi <= -math.Pi:
+		phi += 2 * math.Pi
+	}
+	return phi
+}
+
+// PhaseDiffStream computes the idle-listening phase stream
+//
+//	p[n] = arg(x[n] · conj(x[n+lag]))
+//
+// for n in [0, len(x)-lag). This is the quantity the WiFi packet-detection
+// (autocorrelation) block computes on every incoming sample; SymBee
+// decoding consumes it directly (paper Eq. 1, with lag = 16 at 20 Msps and
+// lag = 32 at 40 Msps).
+func PhaseDiffStream(x []complex128, lag int) []float64 {
+	if lag <= 0 {
+		panic("dsp: PhaseDiffStream lag must be positive")
+	}
+	if len(x) <= lag {
+		return nil
+	}
+	out := make([]float64, len(x)-lag)
+	for n := range out {
+		p := x[n] * complex(real(x[n+lag]), -imag(x[n+lag]))
+		out[n] = math.Atan2(imag(p), real(p))
+	}
+	return out
+}
+
+// CompensatePhases adds offset to every phase in place, re-wrapping to
+// (-π, π]. It implements the channel-frequency-offset compensation of
+// Appendix B (offset = +4π/5 for every overlapping ZigBee/WiFi channel
+// pair at 20 Msps).
+func CompensatePhases(phases []float64, offset float64) []float64 {
+	if offset == 0 {
+		return phases
+	}
+	for i, p := range phases {
+		phases[i] = WrapPhase(p + offset)
+	}
+	return phases
+}
+
+// QuantizePhase snaps phi to the nearest multiple of step and reports the
+// integer multiple. Appendix A shows a noiseless cross-observed ZigBee
+// signal only produces phases i·π/10 for i in [-8, 8]; tests use this to
+// verify the 17-value phase alphabet.
+func QuantizePhase(phi, step float64) (snapped float64, multiple int) {
+	m := math.Round(phi / step)
+	return m * step, int(m)
+}
+
+// PhaseDistance returns the absolute angular distance between two phases,
+// accounting for wrap-around; the result is in [0, π].
+func PhaseDistance(a, b float64) float64 {
+	return math.Abs(WrapPhase(a - b))
+}
+
+// LongestStableRun scans phases and returns the start index and length of
+// the longest run of consecutive values that stay within tol of the run's
+// first value (angular distance). It is the analysis tool behind Fig. 6:
+// the search for the symbol combinations with the longest stable phase.
+func LongestStableRun(phases []float64, tol float64) (start, length int) {
+	bestStart, bestLen := 0, 0
+	i := 0
+	for i < len(phases) {
+		ref := phases[i]
+		j := i + 1
+		for j < len(phases) && PhaseDistance(phases[j], ref) <= tol {
+			j++
+		}
+		if j-i > bestLen {
+			bestStart, bestLen = i, j-i
+		}
+		i++
+		// Restarting at i+1 (not j) keeps the scan exact: a longer run
+		// may begin inside the previous candidate with a different
+		// reference value.
+	}
+	return bestStart, bestLen
+}
+
+// SignCounts reports how many of the given phases are negative and how
+// many are nonnegative. The SymBee decision boundary is 0 (§IV-C).
+func SignCounts(phases []float64) (neg, nonneg int) {
+	for _, p := range phases {
+		if p < 0 {
+			neg++
+		} else {
+			nonneg++
+		}
+	}
+	return neg, nonneg
+}

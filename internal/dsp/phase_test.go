@@ -1,0 +1,148 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWrapPhase(t *testing.T) {
+	tests := []struct {
+		name string
+		in   float64
+		want float64
+	}{
+		{"zero", 0, 0},
+		{"pi stays pi", math.Pi, math.Pi},
+		{"minus pi wraps to pi", -math.Pi, math.Pi},
+		{"just above pi", math.Pi + 0.1, -math.Pi + 0.1},
+		{"just below minus pi", -math.Pi - 0.1, math.Pi - 0.1},
+		{"two pi", 2 * math.Pi, 0},
+		{"large positive", 7 * math.Pi, math.Pi},
+		{"large negative", -7.5 * math.Pi, 0.5 * math.Pi},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := WrapPhase(tt.in)
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("WrapPhase(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestWrapPhaseProperty(t *testing.T) {
+	f := func(phi float64) bool {
+		if math.IsNaN(phi) || math.IsInf(phi, 0) || math.Abs(phi) > 1e9 {
+			return true // out of the domain we care about
+		}
+		w := WrapPhase(phi)
+		if w <= -math.Pi || w > math.Pi {
+			return false
+		}
+		// Wrapped value must be congruent to the input modulo 2π.
+		diff := math.Mod(phi-w, 2*math.Pi)
+		diff = math.Abs(diff)
+		if diff > math.Pi {
+			diff = 2*math.Pi - diff
+		}
+		return diff < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseDiffStreamConstantTone(t *testing.T) {
+	// x[n] = exp(-jωn) gives p[n] = arg(x[n]·conj(x[n+16])) = +16ω.
+	const (
+		n   = 200
+		lag = 16
+	)
+	omega := 2 * math.Pi * 0.5e6 / 20e6 // 0.5 MHz at 20 Msps
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Cos(-omega*float64(i)), math.Sin(-omega*float64(i)))
+	}
+	ph := PhaseDiffStream(x, lag)
+	if len(ph) != n-lag {
+		t.Fatalf("len = %d, want %d", len(ph), n-lag)
+	}
+	want := WrapPhase(16 * omega) // = 4π/5
+	for i, p := range ph {
+		if math.Abs(p-want) > 1e-9 {
+			t.Fatalf("ph[%d] = %v, want %v (4π/5 = %v)", i, p, want, 4*math.Pi/5)
+		}
+	}
+	if math.Abs(want-4*math.Pi/5) > 1e-12 {
+		t.Errorf("expected stable phase 4π/5, got %v", want)
+	}
+}
+
+func TestPhaseDiffStreamShort(t *testing.T) {
+	if got := PhaseDiffStream(make([]complex128, 10), 16); got != nil {
+		t.Errorf("expected nil for short input, got %v", got)
+	}
+}
+
+func TestCompensatePhases(t *testing.T) {
+	phases := []float64{0, math.Pi - 0.1, -math.Pi + 0.1}
+	CompensatePhases(phases, 0.2)
+	want := []float64{0.2, -math.Pi + 0.1, -math.Pi + 0.3}
+	for i := range phases {
+		if math.Abs(phases[i]-want[i]) > 1e-12 {
+			t.Errorf("phases[%d] = %v, want %v", i, phases[i], want[i])
+		}
+	}
+}
+
+func TestQuantizePhase(t *testing.T) {
+	step := math.Pi / 10
+	snapped, m := QuantizePhase(4*math.Pi/5+0.01, step)
+	if m != 8 {
+		t.Errorf("multiple = %d, want 8", m)
+	}
+	if math.Abs(snapped-4*math.Pi/5) > 1e-12 {
+		t.Errorf("snapped = %v, want 4π/5", snapped)
+	}
+}
+
+func TestLongestStableRun(t *testing.T) {
+	phases := []float64{0, 0, 1.0, 1.01, 1.02, 0.99, 1.0, 2.5, 2.5}
+	start, length := LongestStableRun(phases, 0.05)
+	if start != 2 || length != 5 {
+		t.Errorf("run = (%d,%d), want (2,5)", start, length)
+	}
+}
+
+func TestLongestStableRunWrapAround(t *testing.T) {
+	// Values near ±π are angularly close even though numerically far.
+	phases := []float64{math.Pi - 0.01, -math.Pi + 0.01, math.Pi - 0.02, 0}
+	_, length := LongestStableRun(phases, 0.1)
+	if length != 3 {
+		t.Errorf("length = %d, want 3 (wrap-aware)", length)
+	}
+}
+
+func TestSignCounts(t *testing.T) {
+	neg, nonneg := SignCounts([]float64{-1, -0.5, 0, 0.5, 1})
+	if neg != 2 || nonneg != 3 {
+		t.Errorf("SignCounts = (%d,%d), want (2,3)", neg, nonneg)
+	}
+}
+
+func TestPhaseDistanceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := (rng.Float64() - 0.5) * 20
+		b := (rng.Float64() - 0.5) * 20
+		d := PhaseDistance(a, b)
+		if d < 0 || d > math.Pi+1e-12 {
+			t.Fatalf("PhaseDistance(%v,%v) = %v out of [0,π]", a, b, d)
+		}
+		if math.Abs(d-PhaseDistance(b, a)) > 1e-9 {
+			t.Fatalf("PhaseDistance not symmetric at (%v,%v)", a, b)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanVarianceStd(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(x); math.Abs(m-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(x); math.Abs(v-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	if s := StdDev(x); math.Abs(s-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", s)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+	if v := Variance([]float64{1}); v != 0 {
+		t.Errorf("Variance(single) = %v", v)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	x := []float64{5, 1, 3, 2, 4}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {110, 5},
+	}
+	for _, tt := range tests {
+		if got := Percentile(x, tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	// Input must not be reordered.
+	if x[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	for _, db := range []float64{-20, -3, 0, 3, 10, 30} {
+		if got := DB(FromDB(db)); math.Abs(got-db) > 1e-9 {
+			t.Errorf("DB(FromDB(%v)) = %v", db, got)
+		}
+	}
+	if math.Abs(FromDB(3)-1.9952623) > 1e-6 {
+		t.Errorf("FromDB(3) = %v", FromDB(3))
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	x := []float64{-1, 0, 0.4, 0.6, 1.4, 5}
+	h := Histogram(x, 0, 2, 4) // bins [0,.5) [.5,1) [1,1.5) [1.5,2)
+	want := []int{3, 1, 1, 1}  // -1 clamps into bin 0, 5 clamps into bin 3
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("Histogram[%d] = %d, want %d (full %v)", i, h[i], want[i], h)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one reproducible evaluation artifact.
+type Experiment struct {
+	// ID is the registry key ("fig13", "ablation-tau", ...).
+	ID string
+	// Description summarizes what the experiment shows.
+	Description string
+	// Run executes it.
+	Run func(Options) (*Table, error)
+}
+
+// registry lists every table/figure reproduction and ablation.
+var registry = []Experiment{
+	{"fig6", "exhaustive symbol-pair search for the longest stable phase", Fig6PairSearch},
+	{"fig7", "cross-observed phase pattern of bits 0 and 1", Fig7StablePhase},
+	{"fig11", "preamble capture by folding vs plain decoding under noise", Fig11Folding},
+	{"fig12", "numerical BER vs SNR (Prε, Eq. 2, measured), 20 Msps", Fig12BER},
+	{"fig12-40mhz", "BER vs SNR at the 40 Msps receiver (§VI-B)", Fig12BER40MHz},
+	{"fig13", "throughput vs distance in six scenarios", Fig13Throughput},
+	{"fig14", "BER vs distance in six scenarios", Fig14BER},
+	{"fig16", "throughput comparison against five packet-level CTCs", Fig16Comparison},
+	{"fig17", "constellation diagram, outdoor at 15 m", Fig17Constellation},
+	{"fig18", "NLOS office: throughput per sender position", Fig18NLOS},
+	{"fig19", "impact of TX power on BER and SNR", Fig19TxPower},
+	{"fig20", "SymBee packet surviving a 270 µs WiFi burst at 0 dB SINR", Fig20Interference},
+	{"fig21", "BER vs SINR with and without Hamming(7,4)", Fig21Hamming},
+	{"fig22a", "impact of the detection tolerance τ", Fig22Tau},
+	{"fig22b", "BER with vs without the SymBee preamble", Fig22Preamble},
+	{"fig23", "mobility: BER vs carrier speed", Fig23Mobility},
+	{"nonintrusive", "WiFi reception quality under a concurrent SymBee transmission", NonIntrusiveness},
+	{"convergecast", "N ZigBee sensors uploading to one WiFi sink through CSMA/CA", Convergecast},
+	{"lightweight", "marginal decode cost: SymBee vs full SDR ZigBee demodulation", LightweightDecoding},
+	{"ctc-sweep", "BER of every CTC scheme vs WiFi duty cycle", CTCInterferenceSweep},
+	{"ablation-pairs", "codeword pair choice vs stable-run length", AblationSymbolPairs},
+	{"ablation-preamble", "preamble repetitions vs capture rate", AblationPreambleReps},
+	{"ablation-threshold", "capture threshold sensitivity/false-alarm trade-off", AblationCaptureThreshold},
+	{"ablation-rate", "20 vs 40 Msps reception at equal SNR", AblationSampleRate},
+	{"ablation-soft", "hard sign-counting vs soft hypothesis-distance decoding", AblationSoftDecision},
+}
+
+// Experiments returns all registered experiments in registry order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(registry))
+	for _, e := range registry {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("sim: unknown experiment %q (have %v)", id, ids)
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"symbee/internal/channel"
+	"symbee/internal/core"
+	"symbee/internal/wifi"
+)
+
+// Options tunes experiment cost and reproducibility.
+type Options struct {
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// Packets per measurement point (0 → per-experiment default).
+	Packets int
+	// Short divides the default packet counts by 4 (used by `go test`).
+	Short bool
+}
+
+func (o Options) packets(def int) int {
+	n := o.Packets
+	if n == 0 {
+		n = def
+	}
+	if o.Short {
+		n = (n + 3) / 4
+		if n < 4 {
+			n = 4
+		}
+	}
+	return n
+}
+
+// AlternatingBits returns the paper's evaluation workload: n bits of
+// repeated "01" (§VIII sends 50 repeated '01' per packet).
+func AlternatingBits(n int) []byte {
+	bits := make([]byte, n)
+	for i := range bits {
+		bits[i] = byte(i % 2)
+	}
+	return bits
+}
+
+// LinkStats aggregates one batch of packet transmissions.
+type LinkStats struct {
+	// Packets sent, and how many had their preamble captured and
+	// decoded (raw mode: preamble capture; frame mode: CRC pass).
+	Packets, Captured int
+	// BitsPerPacket in the workload.
+	BitsPerPacket int
+	// WrongBits among captured packets.
+	WrongBits int
+	// Margins collects the per-bit constellation statistic when
+	// requested (nonnegative counts per stable window).
+	Margins []int
+	// MarginBits are the ground-truth bits matching Margins.
+	MarginBits []byte
+	// MeanSNR is the average of the per-packet SNR draws.
+	MeanSNR float64
+}
+
+// CaptureRate is the fraction of packets whose preamble was captured.
+func (s *LinkStats) CaptureRate() float64 {
+	if s.Packets == 0 {
+		return 0
+	}
+	return float64(s.Captured) / float64(s.Packets)
+}
+
+// BER is the bit error rate among captured packets.
+func (s *LinkStats) BER() float64 {
+	bits := s.Captured * s.BitsPerPacket
+	if bits == 0 {
+		return 1
+	}
+	return float64(s.WrongBits) / float64(bits)
+}
+
+// Throughput converts the batch into the paper's throughput metric:
+// the 31.25 kbps instantaneous rate scaled by the fraction of all sent
+// bits that arrived correctly (lost packets deliver nothing).
+func (s *LinkStats) Throughput(p core.Params) float64 {
+	total := s.Packets * s.BitsPerPacket
+	if total == 0 {
+		return 0
+	}
+	correct := s.Captured*s.BitsPerPacket - s.WrongBits
+	return p.RawBitRate() * float64(correct) / float64(total)
+}
+
+// RunSpec describes one batch of raw-mode packet transmissions.
+type RunSpec struct {
+	// Params selects 20/40 MHz operation.
+	Params core.Params
+	// Bits is the SymBee payload of every packet.
+	Bits []byte
+	// Packets to send.
+	Packets int
+	// Seed drives all randomness.
+	Seed int64
+	// ConfigFor draws the channel configuration for one packet.
+	ConfigFor func(rng *rand.Rand) channel.Config
+	// Compensation defaults to wifi.CanonicalCompensation when the
+	// config has a frequency offset; set NoCompensation to force 0.
+	NoCompensation bool
+	// CollectMargins records per-bit constellation statistics.
+	CollectMargins bool
+	// Tau overrides the unsynchronized tolerance (0 keeps the default).
+	Tau int
+	// Sequential disables the worker pool (needed when the channel
+	// keeps cross-packet state, e.g. a mobility fading track).
+	Sequential bool
+}
+
+// Run transmits the batch and aggregates statistics. Packets are
+// processed by a bounded worker pool, each worker owning its own
+// deterministic RNG.
+func Run(spec RunSpec) (*LinkStats, error) {
+	if spec.Packets <= 0 {
+		return nil, fmt.Errorf("sim: non-positive packet count %d", spec.Packets)
+	}
+	params := spec.Params
+	if spec.Tau > 0 {
+		params = params.WithTau(spec.Tau)
+	}
+	comp := wifi.CanonicalCompensation
+	if spec.NoCompensation {
+		comp = 0
+	}
+
+	workers := runtime.NumCPU()
+	if workers > spec.Packets {
+		workers = spec.Packets
+	}
+	if spec.Sequential || workers < 1 {
+		workers = 1
+	}
+
+	type result struct {
+		captured  bool
+		wrongBits int
+		margins   []int
+		snr       float64
+		err       error
+	}
+	results := make([]result, spec.Packets)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(spec.Seed + int64(w)*7919))
+			link, err := core.NewLink(params, comp)
+			if err != nil {
+				results[w].err = err
+				return
+			}
+			sig, err := link.TransmitBits(spec.Bits)
+			if err != nil {
+				results[w].err = err
+				return
+			}
+			// Mobility state lives in the medium: sequential runs keep
+			// one medium across packets for track continuity.
+			var persistent *channel.Medium
+			for i := w; i < spec.Packets; i += workers {
+				cfg := spec.ConfigFor(rng)
+				var med *channel.Medium
+				if spec.Sequential && cfg.Mobility != nil {
+					if persistent == nil {
+						persistent, err = channel.NewMedium(cfg, rng)
+						if err != nil {
+							results[i].err = err
+							return
+						}
+					}
+					med = persistent
+				} else {
+					med, err = channel.NewMedium(cfg, rng)
+					if err != nil {
+						results[i].err = err
+						return
+					}
+				}
+				capture := med.Transmit(sig)
+				results[i].snr = cfg.SNRdB
+				phases := link.Phases(capture)
+				dec := link.Decoder()
+				anchor, err := dec.CapturePreamble(phases)
+				if err != nil {
+					continue
+				}
+				got, err := dec.DecodeSyncBits(phases, anchor, len(spec.Bits))
+				if err != nil {
+					continue
+				}
+				results[i].captured = true
+				for k := range spec.Bits {
+					if got[k] != spec.Bits[k] {
+						results[i].wrongBits++
+					}
+				}
+				if spec.CollectMargins {
+					margins, err := dec.SyncBitMargins(phases, anchor, len(spec.Bits))
+					if err == nil {
+						results[i].margins = margins
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	stats := &LinkStats{Packets: spec.Packets, BitsPerPacket: len(spec.Bits)}
+	var snrSum float64
+	for i := range results {
+		if results[i].err != nil {
+			return nil, results[i].err
+		}
+		snrSum += results[i].snr
+		if !results[i].captured {
+			continue
+		}
+		stats.Captured++
+		stats.WrongBits += results[i].wrongBits
+		if spec.CollectMargins && results[i].margins != nil {
+			stats.Margins = append(stats.Margins, results[i].margins...)
+			stats.MarginBits = append(stats.MarginBits, spec.Bits...)
+		}
+	}
+	stats.MeanSNR = snrSum / float64(spec.Packets)
+	return stats, nil
+}

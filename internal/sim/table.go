@@ -1,0 +1,96 @@
+// Package sim is the experiment harness: it reruns every table and
+// figure of the paper's evaluation over the simulated testbed and
+// renders the resulting series. Each figure has a constructor
+// (Fig12BER, Fig13Throughput, ...) returning a Table; the registry maps
+// the experiment identifiers used by cmd/symbeebench onto them.
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid of columns and rows.
+type Table struct {
+	// Title names the experiment ("Fig. 13 — Throughput ...").
+	Title string
+	// Note carries methodology remarks printed under the title.
+	Note string
+	// Columns are the header labels.
+	Columns []string
+	// Rows hold cells already formatted as strings.
+	Rows [][]string
+}
+
+// AddRow appends a row, formatting each cell with %v (floats get
+// 4 significant digits).
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the table as aligned ASCII text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	if t.Note != "" {
+		for _, line := range strings.Split(t.Note, "\n") {
+			b.WriteString("  # ")
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header included).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

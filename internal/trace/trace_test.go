@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestIQRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := &Trace{Kind: KindIQ, SampleRate: 20e6, IQ: make([]complex128, 1000)}
+	for i := range tr.IQ {
+		tr.IQ[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != KindIQ || got.SampleRate != 20e6 || got.Len() != 1000 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range tr.IQ {
+		// float32 storage: ~1e-7 relative precision.
+		if d := real(tr.IQ[i]) - real(got.IQ[i]); math.Abs(d) > 1e-6 {
+			t.Fatalf("sample %d mismatch", i)
+		}
+	}
+	if d := tr.Duration() - 1000.0/20e6; math.Abs(d) > 1e-15 {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+}
+
+func TestPhaseRoundTripFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := &Trace{Kind: KindPhase, SampleRate: 20e6, Phases: make([]float64, 500)}
+	for i := range tr.Phases {
+		tr.Phases[i] = rng.NormFloat64()
+	}
+	path := filepath.Join(t.TempDir(), "x.sbtr")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Phases {
+		if got.Phases[i] != tr.Phases[i] {
+			t.Fatalf("phase %d mismatch", i)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	t.Run("bad magic", func(t *testing.T) {
+		if _, err := Read(bytes.NewReader([]byte("NOPE00000000000000000000"))); !errors.Is(err, ErrBadMagic) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		tr := &Trace{Kind: KindPhase, SampleRate: 1, Phases: []float64{1, 2, 3}}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()-4])); err == nil {
+			t.Error("expected error on truncated trace")
+		}
+	})
+	t.Run("bad kind on write", func(t *testing.T) {
+		tr := &Trace{Kind: 99, SampleRate: 1}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); !errors.Is(err, ErrBadKind) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("missing file", func(t *testing.T) {
+		if _, err := Load(filepath.Join(t.TempDir(), "missing.sbtr")); err == nil {
+			t.Error("expected error for missing file")
+		}
+	})
+}

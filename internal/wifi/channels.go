@@ -1,0 +1,89 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+
+	"symbee/internal/dsp"
+)
+
+// 2.4 GHz ISM band channel plans.
+const (
+	// MinWiFiChannel and MaxWiFiChannel bound the 2.4 GHz WiFi channels
+	// with the regular 5 MHz spacing (channel 14 is excluded: its
+	// 2.484 GHz center breaks the spacing and it is disallowed for
+	// 802.11g almost everywhere).
+	MinWiFiChannel = 1
+	MaxWiFiChannel = 13
+
+	// MinZigBeeChannel and MaxZigBeeChannel bound the 802.15.4 2.4 GHz
+	// channel page (channels 11-26).
+	MinZigBeeChannel = 11
+	MaxZigBeeChannel = 26
+
+	// WiFiBandwidth20 is the occupied bandwidth of a 20 MHz WiFi channel.
+	WiFiBandwidth20 = 20e6
+	// ZigBeeBandwidth is the occupied bandwidth of a ZigBee channel.
+	ZigBeeBandwidth = 2e6
+)
+
+// WiFiChannelFreq returns the center frequency in Hz of 2.4 GHz WiFi
+// channel c (1-13).
+func WiFiChannelFreq(c int) (float64, error) {
+	if c < MinWiFiChannel || c > MaxWiFiChannel {
+		return 0, fmt.Errorf("wifi: channel %d out of range [%d,%d]", c, MinWiFiChannel, MaxWiFiChannel)
+	}
+	return 2412e6 + 5e6*float64(c-1), nil
+}
+
+// ZigBeeChannelFreq returns the center frequency in Hz of 802.15.4
+// channel k (11-26).
+func ZigBeeChannelFreq(k int) (float64, error) {
+	if k < MinZigBeeChannel || k > MaxZigBeeChannel {
+		return 0, fmt.Errorf("wifi: zigbee channel %d out of range [%d,%d]", k, MinZigBeeChannel, MaxZigBeeChannel)
+	}
+	return 2405e6 + 5e6*float64(k-MinZigBeeChannel), nil
+}
+
+// Overlaps reports whether ZigBee channel zk falls inside WiFi channel
+// wc's 20 MHz passband (the condition for cross-observability).
+func Overlaps(wc, zk int) (bool, error) {
+	fw, err := WiFiChannelFreq(wc)
+	if err != nil {
+		return false, err
+	}
+	fz, err := ZigBeeChannelFreq(zk)
+	if err != nil {
+		return false, err
+	}
+	return math.Abs(fz-fw) <= (WiFiBandwidth20+ZigBeeBandwidth)/2, nil
+}
+
+// FreqOffset returns fΔ = fZigBee − fWiFi in Hz for the given channel
+// pair: the frequency at which the ZigBee signal appears in the WiFi
+// receiver's baseband.
+func FreqOffset(wc, zk int) (float64, error) {
+	fw, err := WiFiChannelFreq(wc)
+	if err != nil {
+		return 0, err
+	}
+	fz, err := ZigBeeChannelFreq(zk)
+	if err != nil {
+		return 0, err
+	}
+	return fz - fw, nil
+}
+
+// CompensationPhase returns the constant that must be added to every
+// measured ∠p[n] to undo the channel frequency offset fDelta:
+// wrap(2π·fΔ·0.8 µs). Appendix B proves this is +4π/5 for every
+// overlapping WiFi/ZigBee channel pair, because all offsets are
+// congruent to 3 MHz modulo the 5 MHz channel spacing and a 5 MHz
+// offset rotates an exact 4 cycles over the 0.8 µs lag.
+func CompensationPhase(fDelta float64) float64 {
+	return dsp.WrapPhase(2 * math.Pi * fDelta * AutocorrLag)
+}
+
+// CanonicalCompensation is the channel-independent CFO compensation of
+// Appendix B: +4π/5 radians.
+var CanonicalCompensation = 4 * math.Pi / 5

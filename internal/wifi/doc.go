@@ -1,0 +1,14 @@
+// Package wifi models the WiFi receiver elements SymBee interacts with:
+//
+//   - the idle-listening front-end (paper Fig. 4): sampling at 20 or
+//     40 Msps and the autocorrelation packet-detection block whose
+//     per-sample phase output ∠p[n] = arg(x[n]·x*[n+lag]) SymBee decoding
+//     recycles;
+//   - a Schmidl–Cox style STS plateau detector, used to show WiFi packet
+//     detection keeps working and to find interfering WiFi frames;
+//   - an 802.11g OFDM transmitter (short/long training sequences plus
+//     QPSK data symbols) that serves as the interference source for the
+//     trace-driven robustness experiments (Figs. 20-21);
+//   - the 2.4 GHz channel maps of both technologies and the
+//     channel-frequency-offset arithmetic of Appendix B.
+package wifi

@@ -1,0 +1,193 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"symbee/internal/dsp"
+)
+
+// 802.11g OFDM numerology at 20 Msps.
+const (
+	// FFTSize is the number of OFDM subcarriers.
+	FFTSize = 64
+	// CPLen is the cyclic-prefix length in samples.
+	CPLen = 16
+	// OFDMSymbolLen is one data symbol: CP + FFT = 80 samples (4 µs).
+	OFDMSymbolLen = FFTSize + CPLen
+	// STSLen is the short training sequence length: ten 16-sample
+	// repetitions (8 µs).
+	STSLen = 160
+	// LTSLen is the long training sequence length: 32-sample guard plus
+	// two 64-sample symbols (8 µs).
+	LTSLen = 160
+	// PreambleLen is STS + LTS.
+	PreambleLen = STSLen + LTSLen
+)
+
+// stsFreq is the frequency-domain short training sequence S_{-26..26}
+// (IEEE 802.11-2012 Eq. 18-8) without the sqrt(13/6) scale; entries are
+// (1+j) or -(1+j) on subcarriers ±4,±8,...,±24.
+var stsFreq = func() [53]complex128 {
+	var s [53]complex128
+	p := complex(1, 1)
+	set := map[int]complex128{
+		-24: p, -20: -p, -16: p, -12: -p, -8: -p, -4: p,
+		4: -p, 8: -p, 12: p, 16: p, 20: p, 24: p,
+	}
+	for k, v := range set {
+		s[k+26] = v
+	}
+	return s
+}()
+
+// ltsFreq is the frequency-domain long training sequence L_{-26..26}
+// (IEEE 802.11-2012 Eq. 18-11).
+var ltsFreq = [53]complex128{
+	1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1,
+	1, -1, 1, 1, 1, 1,
+	0,
+	1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1,
+	-1, 1, -1, 1, 1, 1, 1,
+}
+
+// dataSubcarriers lists the 48 data-bearing subcarrier indices of an
+// 802.11a/g symbol (±1..±26 minus the pilots at ±7 and ±21).
+var dataSubcarriers = func() []int {
+	idx := make([]int, 0, 48)
+	for k := -26; k <= 26; k++ {
+		switch k {
+		case 0, -21, -7, 7, 21:
+			continue
+		}
+		idx = append(idx, k)
+	}
+	return idx
+}()
+
+// Transmitter generates 802.11g baseband frames, used as a realistic
+// interference source for the robustness experiments.
+type Transmitter struct {
+	rng *rand.Rand
+}
+
+// NewTransmitter returns a transmitter whose data bits come from rng
+// (pass a deterministically seeded source for reproducible traces).
+func NewTransmitter(rng *rand.Rand) *Transmitter {
+	return &Transmitter{rng: rng}
+}
+
+// ifft64 maps a 53-entry centered spectrum (indices -26..26) onto a
+// 64-point IFFT and returns the time-domain samples.
+func ifft64(centered []complex128) []complex128 {
+	buf := make([]complex128, FFTSize)
+	for i, v := range centered {
+		k := i - 26
+		if k < 0 {
+			k += FFTSize
+		}
+		buf[k] = v
+	}
+	dsp.IFFT(buf)
+	return buf
+}
+
+// STS returns the 160-sample short training sequence. Its 16-sample
+// periodicity is what the autocorrelation detector keys on.
+func STS() []complex128 {
+	spec := make([]complex128, 53)
+	scale := complex(math.Sqrt(13.0/6.0), 0)
+	for i, v := range stsFreq {
+		spec[i] = v * scale
+	}
+	period := ifft64(spec) // inherently periodic with period 16
+	out := make([]complex128, STSLen)
+	for i := range out {
+		out[i] = period[i%FFTSize]
+	}
+	return out
+}
+
+// LTS returns the 160-sample long training sequence (32-sample cyclic
+// guard followed by two repetitions of the 64-sample symbol).
+func LTS() []complex128 {
+	spec := make([]complex128, 53)
+	copy(spec, ltsFreq[:])
+	sym := ifft64(spec)
+	out := make([]complex128, 0, LTSLen)
+	out = append(out, sym[FFTSize-32:]...)
+	out = append(out, sym...)
+	out = append(out, sym...)
+	return out
+}
+
+// BitsPerOFDMSymbol is the QPSK payload of one data symbol: 48
+// subcarriers × 2 bits.
+const BitsPerOFDMSymbol = 96
+
+// Frame generates a full frame with nSymbols random-QPSK data symbols
+// following the preamble, normalized to unit mean power. At 20 Msps the
+// frame spans 16 µs + nSymbols·4 µs.
+func (t *Transmitter) Frame(nSymbols int) ([]complex128, error) {
+	if nSymbols < 0 {
+		return nil, fmt.Errorf("wifi: negative symbol count %d", nSymbols)
+	}
+	bits := make([]byte, nSymbols*BitsPerOFDMSymbol)
+	for i := range bits {
+		bits[i] = byte(t.rng.Intn(2))
+	}
+	return t.FrameWithBits(bits)
+}
+
+// FrameWithBits generates a frame carrying the given bit string (QPSK,
+// 96 bits per symbol; the final symbol is zero-padded). Bit pairs map
+// to constellation points as ((1−2b0) + j(1−2b1))/√2, matching the
+// Receiver's demapping.
+func (t *Transmitter) FrameWithBits(bits []byte) ([]complex128, error) {
+	nSymbols := (len(bits) + BitsPerOFDMSymbol - 1) / BitsPerOFDMSymbol
+	if nSymbols == 0 {
+		nSymbols = 1
+	}
+	out := make([]complex128, 0, PreambleLen+nSymbols*OFDMSymbolLen)
+	out = append(out, STS()...)
+	out = append(out, LTS()...)
+	norm := math.Sqrt(0.5)
+	pilots := [4]int{-21, -7, 7, 21}
+	bit := func(i int) float64 {
+		if i < len(bits) && bits[i]&1 == 1 {
+			return -1
+		}
+		return 1
+	}
+	idx := 0
+	for s := 0; s < nSymbols; s++ {
+		spec := make([]complex128, 53)
+		for _, k := range dataSubcarriers {
+			spec[k+26] = complex(bit(idx)*norm, bit(idx+1)*norm)
+			idx += 2
+		}
+		for _, k := range pilots {
+			spec[k+26] = 1
+		}
+		sym := ifft64(spec)
+		out = append(out, sym[FFTSize-CPLen:]...)
+		out = append(out, sym...)
+	}
+	dsp.NormalizePower(out, 1)
+	return out, nil
+}
+
+// FrameForDuration generates a frame whose total airtime is at least
+// duration seconds at 20 Msps (data symbols are 4 µs each).
+func (t *Transmitter) FrameForDuration(duration float64) ([]complex128, error) {
+	if duration <= 0 {
+		return nil, fmt.Errorf("wifi: non-positive duration %v", duration)
+	}
+	samples := int(math.Ceil(duration * 20e6))
+	n := (samples - PreambleLen + OFDMSymbolLen - 1) / OFDMSymbolLen
+	if n < 1 {
+		n = 1
+	}
+	return t.Frame(n)
+}

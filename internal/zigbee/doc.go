@@ -1,0 +1,18 @@
+// Package zigbee implements the IEEE 802.15.4 2.4 GHz physical layer
+// that SymBee transmits over: the 16-ary symbol→chip spreading table
+// (DSSS), the half-sine OQPSK modulator, PPDU framing (preamble, SFD,
+// PHR, PSDU with CRC-16 FCS), and a chip-correlation receiver used for
+// the ZigBee side of cross-technology broadcast.
+//
+// The modulator synthesizes complex baseband directly at the receiver's
+// sample rate (20 or 40 Msps) so that the WiFi front-end model in package
+// wifi can consume it without resampling; the chip rate is the standard
+// 2 Mchip/s (chip slot 0.5 µs, half-sine pulse 1 µs, symbol 16 µs).
+//
+// Nibble transmission order is configurable. The SymBee paper writes the
+// bit-0 codeword as byte 0x67 = symbols (6,7), i.e. most-significant
+// nibble first; IEEE 802.15.4 hardware transmits the least-significant
+// nibble first (on such hardware the same on-air pattern is byte 0x76).
+// OrderMSBFirst reproduces the paper's notation and is what package core
+// uses; OrderLSBFirst matches the standard.
+package zigbee

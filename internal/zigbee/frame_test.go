@@ -1,0 +1,92 @@
+package zigbee
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/KERMIT (the ITU-T CRC used by 802.15.4): check("123456789")
+	// = 0x2189.
+	if got := CRC16([]byte("123456789")); got != 0x2189 {
+		t.Errorf("CRC16 = 0x%04X, want 0x2189", got)
+	}
+	if got := CRC16(nil); got != 0 {
+		t.Errorf("CRC16(nil) = 0x%04X, want 0", got)
+	}
+}
+
+func TestBuildParsePPDURoundTrip(t *testing.T) {
+	f := func(payload []byte) bool {
+		if len(payload) > MaxPSDULen-FCSLen {
+			payload = payload[:MaxPSDULen-FCSLen]
+		}
+		ppdu, err := BuildPPDU(payload)
+		if err != nil {
+			return false
+		}
+		got, err := ParsePPDU(ppdu)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildPPDUTooLong(t *testing.T) {
+	_, err := BuildPPDU(make([]byte, MaxPSDULen-FCSLen+1))
+	if !errors.Is(err, ErrBadLength) {
+		t.Errorf("err = %v, want ErrBadLength", err)
+	}
+}
+
+func TestParsePPDUErrors(t *testing.T) {
+	good, err := BuildPPDU([]byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("short", func(t *testing.T) {
+		if _, err := ParsePPDU(good[:5]); !errors.Is(err, ErrShortFrame) {
+			t.Errorf("err = %v, want ErrShortFrame", err)
+		}
+	})
+	t.Run("bad SFD", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[PreambleLen] = 0x55
+		if _, err := ParsePPDU(bad); !errors.Is(err, ErrBadSFD) {
+			t.Errorf("err = %v, want ErrBadSFD", err)
+		}
+	})
+	t.Run("corrupt payload fails FCS", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[PreambleLen+2] ^= 0xFF
+		if _, err := ParsePPDU(bad); !errors.Is(err, ErrBadFCS) {
+			t.Errorf("err = %v, want ErrBadFCS", err)
+		}
+	})
+	t.Run("truncated PSDU", func(t *testing.T) {
+		if _, err := ParsePPDU(good[:len(good)-1]); !errors.Is(err, ErrShortFrame) {
+			t.Errorf("err = %v, want ErrShortFrame", err)
+		}
+	})
+	t.Run("bad PHR length", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[PreambleLen+1] = 1 // below FCSLen
+		if _, err := ParsePPDU(bad); !errors.Is(err, ErrBadLength) {
+			t.Errorf("err = %v, want ErrBadLength", err)
+		}
+	})
+}
+
+func TestAirtimeMinimalPacket(t *testing.T) {
+	// The paper's motivating computation (§II-B): the minimal 18-byte
+	// ZigBee packet lasts 576 µs. 18 bytes total = 10-byte payload here.
+	got := Airtime(10)
+	if math.Abs(got-576e-6) > 1e-12 {
+		t.Errorf("Airtime = %v, want 576µs", got)
+	}
+}

@@ -1,0 +1,147 @@
+package zigbee
+
+import (
+	"math"
+	"testing"
+
+	"symbee/internal/dsp"
+)
+
+func TestNewModulatorRates(t *testing.T) {
+	tests := []struct {
+		rate    float64
+		wantSPS int
+		wantErr bool
+	}{
+		{20e6, 10, false},
+		{40e6, 20, false},
+		{4e6, 2, false},
+		{2e6, 0, true},  // 1 sample/slot is too coarse
+		{21e6, 0, true}, // non-integer samples per slot
+		{0, 0, true},
+		{-5, 0, true},
+	}
+	for _, tt := range tests {
+		m, err := NewModulator(tt.rate)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("rate %v: expected error", tt.rate)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("rate %v: %v", tt.rate, err)
+			continue
+		}
+		if m.SamplesPerSlot() != tt.wantSPS {
+			t.Errorf("rate %v: sps = %d, want %d", tt.rate, m.SamplesPerSlot(), tt.wantSPS)
+		}
+		if m.SamplesPerSymbol() != tt.wantSPS*32 {
+			t.Errorf("rate %v: samples/symbol = %d", tt.rate, m.SamplesPerSymbol())
+		}
+	}
+}
+
+func TestModulateChipsLengthAndRails(t *testing.T) {
+	m, err := NewModulator(20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One positive chip on each rail.
+	x := m.ModulateChips([]byte{1, 1})
+	if len(x) != 3*10 {
+		t.Fatalf("len = %d, want 30", len(x))
+	}
+	// In-phase pulse occupies samples [0,20); quadrature [10,30).
+	if real(x[5]) <= 0 || imag(x[5]) != 0 {
+		t.Errorf("sample 5 = %v: I rail should be active, Q idle", x[5])
+	}
+	if imag(x[25]) <= 0 || real(x[25]) != 0 {
+		t.Errorf("sample 25 = %v: Q rail should be active, I idle", x[25])
+	}
+	// Peak of the in-phase half-sine at its center.
+	if math.Abs(real(x[10])-1) > 1e-12 {
+		t.Errorf("I pulse peak = %v, want 1", real(x[10]))
+	}
+}
+
+func TestModulateChipPolarity(t *testing.T) {
+	m, err := NewModulator(20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := m.ModulateChips([]byte{1})
+	neg := m.ModulateChips([]byte{0})
+	for i := range pos {
+		if real(pos[i]) != -real(neg[i]) {
+			t.Fatalf("chip polarity not antisymmetric at sample %d", i)
+		}
+	}
+}
+
+func TestModulatedSignalPower(t *testing.T) {
+	m, err := NewModulator(20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := m.ModulateSymbols([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	p := dsp.Power(x)
+	// Two offset half-sine rails average sin^2 = 0.5 each → power ≈ 1.
+	if p < 0.9 || p > 1.1 {
+		t.Errorf("mean power = %v, want ≈1", p)
+	}
+}
+
+func TestSymbolPairStablePhase(t *testing.T) {
+	// The paper's central PHY observation (Figs. 6-8): symbol pairs
+	// (6,7) and (E,F) contain a 5 µs continuous sinusoid that
+	// cross-observes as an 84-sample stable run at ±4π/5, and the two
+	// runs have opposite signs.
+	m, err := NewModulator(20e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable := func(symbols []byte) (length int, value float64) {
+		x := m.ModulateSymbols(symbols)
+		ph := dsp.PhaseDiffStream(x, 16)
+		start, n := dsp.LongestStableRun(ph, 0.05)
+		return n, ph[start]
+	}
+
+	len67, val67 := stable([]byte{6, 7})
+	lenEF, valEF := stable([]byte{0xE, 0xF})
+	if len67 < 84 {
+		t.Errorf("(6,7) stable run = %d, want >= 84", len67)
+	}
+	if lenEF < 84 {
+		t.Errorf("(E,F) stable run = %d, want >= 84", lenEF)
+	}
+	want := 4 * math.Pi / 5
+	if math.Abs(math.Abs(val67)-want) > 1e-6 {
+		t.Errorf("(6,7) stable phase = %v, want ±4π/5", val67)
+	}
+	if math.Abs(math.Abs(valEF)-want) > 1e-6 {
+		t.Errorf("(E,F) stable phase = %v, want ±4π/5", valEF)
+	}
+	if val67*valEF >= 0 {
+		t.Errorf("(6,7) and (E,F) phases should have opposite signs: %v vs %v", val67, valEF)
+	}
+}
+
+func TestSymbolPairStablePhase40MHz(t *testing.T) {
+	// §VI-B: at 40 Msps the lag doubles to 32 and the stable run doubles
+	// to 168 values while the phase stays ±4π/5.
+	m, err := NewModulator(40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := m.ModulateSymbols([]byte{6, 7})
+	ph := dsp.PhaseDiffStream(x, 32)
+	start, n := dsp.LongestStableRun(ph, 0.05)
+	if n < 168 {
+		t.Errorf("stable run = %d, want >= 168", n)
+	}
+	if math.Abs(math.Abs(ph[start])-4*math.Pi/5) > 1e-6 {
+		t.Errorf("stable phase = %v, want ±4π/5", ph[start])
+	}
+}

@@ -1,0 +1,25 @@
+package symbee
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// lockedRand hands out deterministic child RNGs under a mutex so that
+// Channel.Transmit is safe for concurrent use while staying
+// reproducible for a fixed seed and call order.
+type lockedRand struct {
+	mu  sync.Mutex
+	src *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{src: rand.New(rand.NewSource(seed))}
+}
+
+// fork derives an independent child RNG.
+func (l *lockedRand) fork() *rand.Rand {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return rand.New(rand.NewSource(l.src.Int63()))
+}
