@@ -1,5 +1,7 @@
 // Command symbeebench reruns the paper's evaluation on the simulated
-// testbed and prints each table/figure series.
+// testbed and prints each table/figure series. It also measures the
+// streaming pipeline's single-core throughput (-stream), writing the
+// result as a JSON artifact for regression tracking.
 //
 // Usage:
 //
@@ -7,6 +9,7 @@
 //	symbeebench -run fig13
 //	symbeebench -all
 //	symbeebench -run fig12 -packets 200 -seed 7 -csv
+//	symbeebench -stream -stream-out BENCH_stream.json
 package main
 
 import (
@@ -27,8 +30,20 @@ func main() {
 		packets = flag.Int("packets", 0, "packets per measurement point (0 = default)")
 		short   = flag.Bool("short", false, "quarter-size runs")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+
+		streamBench   = flag.Bool("stream", false, "measure streaming receiver throughput instead of a paper experiment")
+		streamOut     = flag.String("stream-out", "BENCH_stream.json", "file for the stream throughput JSON artifact (\"\" = don't write)")
+		streamChunk   = flag.Int("stream-chunk", 4096, "stream bench chunk size in samples")
+		streamSamples = flag.Uint64("stream-samples", 50_000_000, "minimum samples the stream bench replays")
 	)
 	flag.Parse()
+	if *streamBench {
+		if err := runStreamBench(*seed, *streamChunk, *streamSamples, *streamOut); err != nil {
+			fmt.Fprintln(os.Stderr, "symbeebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := realMain(*list, *run, *all, sim.Options{Seed: *seed, Packets: *packets, Short: *short}, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "symbeebench:", err)
 		os.Exit(1)

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"symbee/internal/channel"
+	"symbee/internal/core"
+	"symbee/internal/stream"
+	"symbee/internal/wifi"
+)
+
+// streamBenchArtifact is the schema of BENCH_stream.json: the two
+// throughput regimes that bracket a live receiver — a frame-bearing
+// replay and pure-noise hunting — plus the pass/fail verdict against
+// the real-time target.
+type streamBenchArtifact struct {
+	Benchmark   string                  `json:"benchmark"`
+	SampleRate  float64                 `json:"sample_rate"`
+	TargetSps   float64                 `json:"target_sps"`
+	FrameReplay stream.ThroughputReport `json:"frame_replay"`
+	NoiseReplay stream.ThroughputReport `json:"noise_replay"`
+	Realtime    bool                    `json:"realtime"`
+}
+
+// runStreamBench measures single-stream ingest throughput of the full
+// IQ→phase→decode chain on one core and writes the JSON artifact.
+func runStreamBench(seed int64, chunk int, minSamples uint64, outPath string) error {
+	p := core.Params20()
+	rng := rand.New(rand.NewSource(seed))
+
+	l, err := core.NewLink(p, wifi.CanonicalCompensation)
+	if err != nil {
+		return err
+	}
+	sig, err := l.TransmitFrame(&core.Frame{Seq: 1, Data: []byte("benchload!")})
+	if err != nil {
+		return err
+	}
+	m, err := channel.NewMedium(channel.Config{
+		SampleRate: p.SampleRate,
+		SNRdB:      10,
+		FreqOffset: channel.DefaultFreqOffset,
+		Pad:        4000,
+	}, rng)
+	if err != nil {
+		return err
+	}
+	capture := m.Transmit(sig)
+
+	noise := make([]complex128, 1<<18)
+	for i := range noise {
+		noise[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+
+	fmt.Printf("stream throughput bench: chunk=%d, ≥%d samples per regime\n", chunk, minSamples)
+	frameRep, err := stream.MeasureThroughput(p, wifi.CanonicalCompensation, capture, chunk, minSamples)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  frame replay: %.1f Msps (%.2fx real time), %d frames\n",
+		frameRep.SamplesPerSec/1e6, frameRep.RealtimeX, frameRep.Frames)
+	noiseRep, err := stream.MeasureThroughput(p, wifi.CanonicalCompensation, noise, chunk, minSamples)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  noise hunting: %.1f Msps (%.2fx real time)\n",
+		noiseRep.SamplesPerSec/1e6, noiseRep.RealtimeX)
+
+	art := streamBenchArtifact{
+		Benchmark:   "stream-throughput",
+		SampleRate:  p.SampleRate,
+		TargetSps:   p.SampleRate,
+		FrameReplay: frameRep,
+		NoiseReplay: noiseRep,
+		Realtime:    frameRep.SamplesPerSec >= p.SampleRate,
+	}
+	fmt.Printf("  real-time at %.0f Msps: %v\n", p.SampleRate/1e6, art.Realtime)
+	if outPath == "" {
+		return nil
+	}
+	out, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", outPath)
+	return nil
+}

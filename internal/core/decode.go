@@ -156,171 +156,23 @@ func (d *Decoder) DecodeUnsync(phases []float64) []DetectedBit {
 // where the stable run of the first preamble bit begins. After the
 // first hit it keeps scanning for up to one StableLen to refine the
 // anchor to the strongest window.
+//
+// The scan itself is incremental (preambleScanner in scan.go) so that
+// the streaming FrameMachine shares it; this batch entry point feeds
+// the whole capture through one scanner and finishes with the full
+// stream as the template window.
 func (d *Decoder) CapturePreamble(phases []float64) (int, error) {
 	return d.capturePreamble(d.prepare(phases))
 }
 
 func (d *Decoder) capturePreamble(phases []float64) (int, error) {
-	folder := dsp.NewSlidingFolder(d.p.BitPeriod, PreambleBits)
-	counter := dsp.NewMovingSignCounter(d.p.StableLen)
-	meanTracker := dsp.NewMovingAverage(d.p.StableLen)
-	foldSpan := d.p.BitPeriod * PreambleBits
-
-	// Detection statistic: the mean of the StableLen fold sums in the
-	// window — a matched filter for "PreambleBits coherent repetitions
-	// of a nonnegative stable run". A majority-sign sanity check keeps
-	// pathological heavy-tailed windows out.
-	//
-	// Candidate anchors (local maxima of the statistic, at most one per
-	// bit period) are collected for a bounded span after the first
-	// crossing: the ZigBee synchronization header — whose repeated
-	// symbol 0 contains its own shorter stable run and folds coherently
-	// — can trigger up to a full header length before the SymBee
-	// preamble (15 bytes with PHY+MAC framing), and zero data bits
-	// after the preamble fold identically to it.
-	type candidate struct {
-		anchor int
-		mean   float64
-	}
-	var cands []candidate
-	bestMean := 0.0
-	bestIdx := -1
-	remaining := -1 // >=0 once we are in the refinement phase
-	for i, phi := range phases {
-		sum, ok := folder.Push(phi)
-		if !ok {
-			continue
-		}
-		mean := meanTracker.Push(sum)
-		full, _, nonneg := counter.Push(sum)
-		if !full {
-			continue
-		}
-		// The counter window covers fold anchors
-		// [i-foldSpan+1-StableLen+1 .. i-foldSpan+1].
-		anchor := i - foldSpan + 1 - d.p.StableLen + 1
-		if mean >= d.CaptureThreshold && nonneg >= d.p.TauSync {
-			if n := len(cands); n > 0 && anchor-cands[n-1].anchor < d.p.BitPeriod/2 {
-				if mean > cands[n-1].mean {
-					cands[n-1] = candidate{anchor, mean}
-					if cands[n-1].mean > bestMean {
-						bestMean, bestIdx = mean, n-1
-					}
-				}
-			} else {
-				cands = append(cands, candidate{anchor, mean})
-				if mean > bestMean {
-					bestMean, bestIdx = mean, len(cands)-1
-				}
-			}
-			if remaining < 0 {
-				remaining = 16*d.p.BitPeriod + 2*d.p.StableLen
-			}
-		}
-		if remaining >= 0 {
-			remaining--
-			if remaining <= 0 {
-				break
-			}
-		}
-	}
-	if bestIdx < 0 {
-		return 0, ErrNoPreamble
-	}
-	// Selection. The fold mean alone cannot identify the preamble: a
-	// run of zero DATA bits folds slightly STRONGER than the preamble
-	// itself (the preamble's leading stable run is clipped by the PHR
-	// junction, shrinking the usable window intersection to ≈86%),
-	// while the ZigBee header folds at ≈75% and partial window overlaps
-	// anywhere in between. So candidates within a generous band of the
-	// maximum are re-scored with the codeword TEMPLATE over
-	// PreambleBits periods — codeword-anchored candidates (preamble and
-	// zero-runs) tie at the full level, the header scores ≤½ — and the
-	// EARLIEST template-strong candidate wins: the preamble precedes
-	// every data run.
-	shortlist := cands[:0]
-	for _, c := range cands {
-		if c.mean >= 0.75*bestMean {
-			shortlist = append(shortlist, c)
-		}
-	}
-	// The fold plateau leaves ±10 samples of anchor jitter, and the
-	// template decorrelates within a few samples of misalignment, so
-	// each candidate is scored at its best alignment within a small
-	// window — which simultaneously refines the anchor.
-	maxS := 0.0
-	scores := make([]float64, len(shortlist))
-	for i := range shortlist {
-		s, refined := d.alignTemplate(phases, shortlist[i].anchor)
-		scores[i] = s
-		shortlist[i].anchor = refined
-		if s > maxS {
-			maxS = s
-		}
-	}
-	best := cands[bestIdx].anchor
-	for i := range shortlist {
-		if scores[i] >= 0.85*maxS {
-			best = shortlist[i].anchor
+	sc := d.newPreambleScanner(0)
+	for _, phi := range phases {
+		if sc.push(phi) {
 			break
 		}
 	}
-	// Template walk: pin the anchor to the first codeword period. A
-	// genuine codeword period correlates at the full level while the
-	// strongest possible impostor (PHR byte 0x37) reaches 61%, so 75%
-	// splits the hypotheses with margin for the anchor jitter of noisy
-	// captures. Walk forward off header periods (a selected partial
-	// overlap), then back across any contiguous codeword run.
-	if maxS > 0 {
-		for steps := 0; steps < 16; steps++ {
-			s, selfOK := d.templateScore(phases, best, 1)
-			if !selfOK || s >= maxS*0.75 {
-				break
-			}
-			best += d.p.BitPeriod
-		}
-		for best-d.p.BitPeriod >= 0 {
-			s, prevOK := d.templateScore(phases, best-d.p.BitPeriod, 1)
-			if !prevOK || s < maxS*0.75 {
-				break
-			}
-			best -= d.p.BitPeriod
-		}
-	}
-	return best, nil
-}
-
-// alignTemplate scores a candidate at its best alignment within ±16
-// samples and returns that score along with the refined anchor.
-func (d *Decoder) alignTemplate(phases []float64, anchor int) (float64, int) {
-	bestS, bestA := 0.0, anchor
-	for delta := -16; delta <= 16; delta += 2 {
-		if s, ok := d.templateScore(phases, anchor+delta, PreambleBits); ok && s > bestS {
-			bestS, bestA = s, anchor+delta
-		}
-	}
-	return bestS, bestA
-}
-
-// templateScore is the matched-filter statistic behind the anchor
-// walk-back: the correlation of `periods` consecutive bit periods
-// starting at anchor with the ideal bit-0 phase profile, normalized per
-// value. anchor points at a stable-run start; the template is aligned
-// so its own run start coincides.
-func (d *Decoder) templateScore(phases []float64, anchor, periods int) (float64, bool) {
-	base := anchor - d.templateRunOffset
-	end := base + (periods-1)*d.p.BitPeriod + len(d.template)
-	if base < 0 || end > len(phases) {
-		return 0, false
-	}
-	var s float64
-	for r := 0; r < periods; r++ {
-		off := base + r*d.p.BitPeriod
-		for w, tv := range d.template {
-			s += phases[off+w] * tv
-		}
-	}
-	return s / float64(periods*len(d.template)), true
+	return sc.finish(phaseWindow{data: phases})
 }
 
 // DecodeSyncBits majority-votes n bits at their known positions: bit k
@@ -334,22 +186,7 @@ func (d *Decoder) DecodeSyncBits(phases []float64, anchor, n int) ([]byte, error
 }
 
 func (d *Decoder) decodeSyncBits(phases []float64, anchor, n int) ([]byte, error) {
-	bits := make([]byte, n)
-	for k := 0; k < n; k++ {
-		start := anchor + (PreambleBits+k)*d.p.BitPeriod
-		end := start + d.p.StableLen
-		if start < 0 || end > len(phases) {
-			return bits[:k], fmt.Errorf("%w: bit %d needs [%d,%d), stream has %d",
-				ErrTruncated, k, start, end, len(phases))
-		}
-		_, nonneg := dsp.SignCounts(phases[start:end])
-		if nonneg >= d.p.TauSync {
-			bits[k] = 0
-		} else {
-			bits[k] = 1
-		}
-	}
-	return bits, nil
+	return d.decodeSyncBitsWin(phaseWindow{data: phases}, anchor, n)
 }
 
 // SyncBitMargins reports, for each of n bits, the number of nonnegative
@@ -384,44 +221,23 @@ func (d *Decoder) DecodeBits(phases []float64, n int) ([]byte, error) {
 // data length, decodes the remaining bits and validates the checksum.
 // If parsing fails at the captured anchor it retries one bit period to
 // either side, recovering captures that locked on a period off.
+//
+// Batch decoding is one big chunk through the streaming FrameMachine:
+// the capture is pushed whole, the stream is flushed, and the first
+// terminal event is the result. The machine's decision points fire at
+// the same stream positions regardless of chunking, so this is
+// bit-identical to feeding the capture sample by sample.
 func (d *Decoder) DecodeFrame(phases []float64) (*Frame, error) {
-	prepared := d.prepare(phases)
-	anchor, err := d.capturePreamble(prepared)
-	if err != nil {
-		return nil, err
-	}
-	return d.decodeFrameAtWithRetry(prepared, anchor)
-}
-
-func (d *Decoder) decodeFrameAtWithRetry(prepared []float64, anchor int) (*Frame, error) {
-	frame, err := d.decodeFrameAt(prepared, anchor)
-	if err == nil {
-		return frame, nil
-	}
-	for _, shift := range []int{-d.p.BitPeriod, d.p.BitPeriod} {
-		if frame, retryErr := d.decodeFrameAt(prepared, anchor+shift); retryErr == nil {
-			return frame, nil
+	m := d.newBatchMachine()
+	m.PushChunk(phases)
+	m.Flush()
+	for _, ev := range m.Events() {
+		switch ev.Kind {
+		case EventFrame:
+			return ev.Frame, nil
+		case EventDecodeError:
+			return nil, ev.Err
 		}
 	}
-	return nil, err
-}
-
-func (d *Decoder) decodeFrameAt(prepared []float64, anchor int) (*Frame, error) {
-	header, err := d.decodeSyncBits(prepared, anchor, HeaderBits)
-	if err != nil {
-		return nil, err
-	}
-	dataLen := 0
-	for _, b := range header[8:16] {
-		dataLen = dataLen<<1 | int(b)
-	}
-	if dataLen > MaxDataBytes {
-		return nil, fmt.Errorf("%w: header claims %d data bytes", ErrTruncated, dataLen)
-	}
-	total := HeaderBits + dataLen*8 + CRCBits
-	bits, err := d.decodeSyncBits(prepared, anchor, total)
-	if err != nil {
-		return nil, err
-	}
-	return parseFrameBits(bits)
+	return nil, ErrNoPreamble
 }

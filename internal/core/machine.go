@@ -1,0 +1,312 @@
+package core
+
+import "symbee/internal/dsp"
+
+// MachineState is the stage a FrameMachine is in.
+type MachineState uint8
+
+// FrameMachine stages.
+const (
+	// StateHunting: scanning the phase stream for a preamble fold.
+	StateHunting MachineState = iota
+	// StateSelecting: fold lock acquired; waiting for enough lookahead
+	// to refine the anchor by template matching.
+	StateSelecting
+	// StateDecoding: anchor pinned; waiting for the frame body to
+	// arrive, then majority-vote decoding it.
+	StateDecoding
+)
+
+func (s MachineState) String() string {
+	switch s {
+	case StateHunting:
+		return "hunting"
+	case StateSelecting:
+		return "selecting"
+	case StateDecoding:
+		return "decoding"
+	}
+	return "unknown"
+}
+
+// StreamEventKind discriminates FrameMachine events.
+type StreamEventKind uint8
+
+// FrameMachine event kinds.
+const (
+	// EventLock: the fold statistic crossed the capture threshold — a
+	// preamble-like pattern is in the stream.
+	EventLock StreamEventKind = iota + 1
+	// EventFrame: a frame decoded and passed its checksum.
+	EventFrame
+	// EventDecodeError: a locked preamble failed to produce a valid
+	// frame (bad version, checksum mismatch, truncated stream).
+	EventDecodeError
+)
+
+// StreamEvent is one occurrence in a decoded stream.
+type StreamEvent struct {
+	Kind StreamEventKind
+	// Anchor is the absolute stream index of the preamble anchor
+	// (for EventLock, the first fold candidate; for EventFrame, the
+	// anchor the frame actually decoded at).
+	Anchor int
+	// Frame is the decoded frame (EventFrame only).
+	Frame *Frame
+	// Err is the decode failure (EventDecodeError only).
+	Err error
+	// End is one past the last phase index the frame occupies
+	// (EventFrame only) — where hunting for the next frame resumes.
+	End int
+}
+
+// FrameMachine is the per-stream decoder state machine: hunting →
+// preamble-fold lock → synchronized majority-vote decode → frame emit,
+// repeated for as long as the stream lasts. It consumes the phase
+// stream in arbitrarily sized chunks, carrying all DSP state (fold
+// sums, sign counts, windowed means) and a bounded phase history across
+// chunk boundaries, so a capture split at any offset decodes
+// bit-identically to a single batch pass — Decoder.DecodeFrame is
+// literally "one big chunk" through this machine.
+//
+// Decisions are taken at deterministic stream positions, never at chunk
+// boundaries: after a fold lock the machine waits until the retained
+// history covers the span candidate selection may read
+// (preambleScanner.selectionSpanEnd), and after anchor selection until
+// it covers the largest possible frame at that anchor. Flush forces the
+// pending decision with whatever has arrived, which is exactly the
+// batch behavior at the end of a capture.
+//
+// A FrameMachine is not safe for concurrent use; internal/stream shards
+// streams across workers so each machine stays single-goroutine.
+type FrameMachine struct {
+	d *Decoder
+
+	// buf holds the retained phase history; buf[0] is stream index base.
+	buf  []float64
+	base int
+	// n is the total number of phases pushed (the next stream index).
+	n int
+
+	scan *preambleScanner
+	// scanPos is the next stream index to feed the scanner.
+	scanPos int
+
+	state MachineState
+	// anchor is the selected preamble anchor (StateDecoding).
+	anchor int
+	// needUpTo is the coverage gate: the decision for the current state
+	// fires once n ≥ needUpTo (or on Flush).
+	needUpTo int
+
+	// retention is how much history hunting keeps behind the newest
+	// phase; 0 disables trimming (batch mode). Once a fold candidate
+	// exists trimming stops, so selection always sees a stable window.
+	retention int
+
+	lockEmitted bool
+	flushed     bool
+	events      []StreamEvent
+}
+
+// maxFrameBits is the largest on-air frame body in SymBee bits.
+const maxFrameBits = HeaderBits + 8*MaxDataBytes + CRCBits
+
+// defaultRetention returns the hunting history bound: enough for the
+// template stage's backward reads — candidate anchors trail the scan
+// position by foldSpan+StableLen, the walk-back probes up to 16 periods
+// plus the in-template run offset (< one period) behind the earliest
+// candidate, and alignment jitters ±16 samples — with a full preamble
+// span of margin. ≈15.5k floats (124 KiB) per stream at 20 Msps.
+func defaultRetention(p Params) int {
+	return (PreambleBits+20)*p.BitPeriod + 2*p.StableLen
+}
+
+// NewFrameMachine returns a streaming machine with bounded history
+// retention. The machine applies the decoder's Compensation to every
+// pushed phase, mirroring the batch prepare step.
+func (d *Decoder) NewFrameMachine() *FrameMachine {
+	m := &FrameMachine{d: d, retention: defaultRetention(d.p)}
+	m.scan = d.newPreambleScanner(0)
+	return m
+}
+
+// newBatchMachine returns a machine with unbounded history — the
+// configuration under which it reproduces the historical whole-capture
+// decode exactly, including template reads arbitrarily far back.
+func (d *Decoder) newBatchMachine() *FrameMachine {
+	m := d.NewFrameMachine()
+	m.retention = 0
+	return m
+}
+
+// State returns the machine's current stage.
+func (m *FrameMachine) State() MachineState { return m.state }
+
+// Buffered returns the number of retained history phases (the machine's
+// current memory footprint in values).
+func (m *FrameMachine) Buffered() int { return len(m.buf) }
+
+// Pushed returns the total number of phases consumed.
+func (m *FrameMachine) Pushed() int { return m.n }
+
+// Events drains and returns the events produced since the last call.
+func (m *FrameMachine) Events() []StreamEvent {
+	ev := m.events
+	m.events = nil
+	return ev
+}
+
+// PushChunk consumes a chunk of phase values (any length, including
+// zero) and advances the machine. The chunk is copied; the caller may
+// reuse the slice.
+func (m *FrameMachine) PushChunk(phases []float64) {
+	if m.flushed {
+		panic("core: FrameMachine.PushChunk after Flush (use Reset)")
+	}
+	if comp := m.d.Compensation; comp != 0 {
+		for _, v := range phases {
+			m.buf = append(m.buf, dsp.WrapPhase(v+comp))
+		}
+	} else {
+		m.buf = append(m.buf, phases...)
+	}
+	m.n += len(phases)
+	m.advance()
+}
+
+// Flush marks the end of the stream: any pending decision is forced
+// with the data at hand (a truncated frame body decodes as far as it
+// can and reports ErrTruncated, matching the batch path on a capture
+// that ends mid-frame). After Flush the machine only accepts Reset.
+func (m *FrameMachine) Flush() {
+	m.flushed = true
+	m.advance()
+}
+
+// Reset returns the machine to a fresh hunting state at stream index 0.
+func (m *FrameMachine) Reset() {
+	m.buf = m.buf[:0]
+	m.base, m.n, m.scanPos = 0, 0, 0
+	m.scan = m.d.newPreambleScanner(0)
+	m.state = StateHunting
+	m.lockEmitted = false
+	m.flushed = false
+	m.events = nil
+}
+
+// advance runs the state machine as far as the buffered stream allows.
+func (m *FrameMachine) advance() {
+	for {
+		switch m.state {
+		case StateHunting:
+			if !m.feedScanner() {
+				// On a flush the batch path runs selection with
+				// whatever candidates the exhausted stream produced,
+				// even if the refinement span never completed.
+				if m.flushed && m.scan.locked() {
+					m.state = StateSelecting
+					m.needUpTo = m.n
+					continue
+				}
+				m.trim()
+				return // need more data
+			}
+			m.state = StateSelecting
+			m.needUpTo = m.scan.selectionSpanEnd()
+		case StateSelecting:
+			if m.n < m.needUpTo && !m.flushed {
+				return
+			}
+			anchor, err := m.scan.finish(m.window())
+			if err != nil {
+				// No candidates survived: nothing to decode, resume
+				// hunting over whatever follows.
+				m.rearm(m.scanPos)
+				continue
+			}
+			m.anchor = anchor
+			m.state = StateDecoding
+			// Largest span any decode attempt may read: the +BitPeriod
+			// retry shifted anchor plus a maximal frame body.
+			m.needUpTo = anchor + (1+PreambleBits+maxFrameBits)*m.d.p.BitPeriod + m.d.p.StableLen
+		case StateDecoding:
+			if m.n < m.needUpTo && !m.flushed {
+				return
+			}
+			frame, usedAnchor, err := m.d.decodeFrameWinWithRetry(m.window(), m.anchor)
+			if err != nil {
+				m.events = append(m.events, StreamEvent{Kind: EventDecodeError, Anchor: m.anchor, Err: err})
+				m.rearm(m.scanPos)
+			} else {
+				total := HeaderBits + len(frame.Data)*8 + CRCBits
+				end := usedAnchor + (PreambleBits+total-1)*m.d.p.BitPeriod + m.d.p.StableLen
+				m.events = append(m.events, StreamEvent{Kind: EventFrame, Anchor: usedAnchor, Frame: frame, End: end})
+				m.rearm(end)
+			}
+		}
+	}
+}
+
+// feedScanner streams buffered phases into the preamble scanner,
+// reporting whether the scan completed. It also emits the lock event on
+// the first threshold crossing.
+func (m *FrameMachine) feedScanner() bool {
+	data := m.buf[m.scanPos-m.base:]
+	for _, phi := range data {
+		done := m.scan.push(phi)
+		m.scanPos++
+		if !m.lockEmitted && m.scan.locked() {
+			m.lockEmitted = true
+			m.events = append(m.events, StreamEvent{Kind: EventLock, Anchor: m.scan.cands[0].anchor})
+		}
+		if done {
+			return true
+		}
+	}
+	return false
+}
+
+// rearm restarts hunting at stream index from: the scanner is rebuilt
+// cold (fold warm-up included) and already-buffered phases past from
+// will be rescanned by the caller's advance loop. Frame bodies are
+// skipped wholesale (from = frame end), so their codeword runs cannot
+// re-trigger the fold detector.
+func (m *FrameMachine) rearm(from int) {
+	if from < m.scanPos {
+		from = m.scanPos
+	}
+	if from > m.n {
+		from = m.n
+	}
+	m.scanPos = from
+	m.scan = m.d.newPreambleScanner(from)
+	m.state = StateHunting
+	m.lockEmitted = false
+	m.trim()
+}
+
+// window returns the retained history as a phaseWindow.
+func (m *FrameMachine) window() phaseWindow {
+	return phaseWindow{data: m.buf, base: m.base}
+}
+
+// trim drops history that hunting can no longer reach. Only safe while
+// no fold candidate exists: from the first candidate until the frame is
+// resolved the whole window stays pinned for the template stage.
+func (m *FrameMachine) trim() {
+	if m.retention == 0 || m.state != StateHunting || m.scan.locked() {
+		return
+	}
+	cut := len(m.buf) - m.retention
+	// Never cut past the scan position: everything from scanPos on is
+	// still unscanned (e.g. the lookahead buffered while a previous
+	// frame was being decoded) and will be fed to the scanner next.
+	if maxCut := m.scanPos - m.base; cut > maxCut {
+		cut = maxCut
+	}
+	if cut > 0 {
+		m.buf = append(m.buf[:0], m.buf[cut:]...)
+		m.base += cut
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"symbee/internal/channel"
+	"symbee/internal/wifi"
+)
+
+// pushChunked feeds phases through a fresh streaming machine in chunks
+// of the given size and returns every event.
+func pushChunked(t *testing.T, d *Decoder, phases []float64, chunk int) []StreamEvent {
+	t.Helper()
+	m := d.NewFrameMachine()
+	var events []StreamEvent
+	for off := 0; off < len(phases); off += chunk {
+		end := off + chunk
+		if end > len(phases) {
+			end = len(phases)
+		}
+		m.PushChunk(phases[off:end])
+		events = append(events, m.Events()...)
+	}
+	m.Flush()
+	return append(events, m.Events()...)
+}
+
+func firstFrame(events []StreamEvent) *StreamEvent {
+	for i := range events {
+		if events[i].Kind == EventFrame {
+			return &events[i]
+		}
+	}
+	return nil
+}
+
+func TestFrameMachineMatchesBatchAcrossChunkSizes(t *testing.T) {
+	p := Params20()
+	rng := rand.New(rand.NewSource(21))
+	l := mustLink(t, p, wifi.CanonicalCompensation)
+	f := &Frame{Seq: 9, Flags: 0x2, Data: []byte("machine!")}
+	sig, err := l.TransmitFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, snr := range []float64{30, 2} {
+		m, err := channel.NewMedium(channel.Config{
+			SampleRate: p.SampleRate,
+			SNRdB:      snr,
+			FreqOffset: channel.DefaultFreqOffset,
+			Pad:        400,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases := l.Phases(m.Transmit(sig))
+		want, batchErr := l.Decoder().DecodeFrame(phases)
+		if batchErr != nil {
+			t.Fatalf("snr %v: batch decode failed: %v", snr, batchErr)
+		}
+		for _, chunk := range []int{1, 7, 100, 4096, len(phases)} {
+			events := pushChunked(t, l.Decoder(), phases, chunk)
+			ev := firstFrame(events)
+			if ev == nil {
+				t.Fatalf("snr %v chunk %d: no frame event (events: %+v)", snr, chunk, events)
+			}
+			got := ev.Frame
+			if got.Seq != want.Seq || got.Flags != want.Flags || !bytes.Equal(got.Data, want.Data) {
+				t.Errorf("snr %v chunk %d: frame %+v, want %+v", snr, chunk, got, want)
+			}
+		}
+	}
+}
+
+func TestFrameMachineDecodesBackToBackFrames(t *testing.T) {
+	// An always-on stream: several packets separated by idle noise must
+	// each produce a frame event, in order.
+	p := Params20()
+	rng := rand.New(rand.NewSource(22))
+	l := mustLink(t, p, wifi.CanonicalCompensation)
+	frames := []*Frame{
+		{Seq: 1, Data: []byte("first")},
+		{Seq: 2, Data: []byte("second")},
+		{Seq: 3, Data: []byte("third")},
+	}
+	var phases []float64
+	for _, f := range frames {
+		sig, err := l.TransmitFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		med, err := channel.NewMedium(channel.Config{
+			SampleRate: p.SampleRate,
+			SNRdB:      20,
+			FreqOffset: channel.DefaultFreqOffset,
+			Pad:        2000,
+		}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases = append(phases, l.Phases(med.Transmit(sig))...)
+	}
+	m := l.Decoder().NewFrameMachine()
+	var got []*Frame
+	for off := 0; off < len(phases); off += 4096 {
+		end := off + 4096
+		if end > len(phases) {
+			end = len(phases)
+		}
+		m.PushChunk(phases[off:end])
+		for _, ev := range m.Events() {
+			if ev.Kind == EventFrame {
+				got = append(got, ev.Frame)
+			}
+		}
+	}
+	m.Flush()
+	for _, ev := range m.Events() {
+		if ev.Kind == EventFrame {
+			got = append(got, ev.Frame)
+		}
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(frames))
+	}
+	for i, f := range frames {
+		if got[i].Seq != f.Seq || !bytes.Equal(got[i].Data, f.Data) {
+			t.Errorf("frame %d = %+v, want %+v", i, got[i], f)
+		}
+	}
+}
+
+func TestFrameMachineBoundedMemoryOnNoise(t *testing.T) {
+	// Hunting over pure noise must not accumulate history: the retained
+	// window stays at the configured retention bound.
+	p := Params20()
+	d, err := NewDecoder(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := d.NewFrameMachine()
+	rng := rand.New(rand.NewSource(23))
+	chunk := make([]float64, 4096)
+	for i := 0; i < 200; i++ {
+		for j := range chunk {
+			chunk[j] = (rng.Float64()*2 - 1) * 3.14
+		}
+		m.PushChunk(chunk)
+	}
+	limit := defaultRetention(p) + len(chunk)
+	if m.Buffered() > limit {
+		t.Errorf("buffered %d phases on noise, want ≤ %d", m.Buffered(), limit)
+	}
+	if m.Pushed() != 200*len(chunk) {
+		t.Errorf("pushed = %d", m.Pushed())
+	}
+}
+
+func TestFrameMachineLockAndErrorEvents(t *testing.T) {
+	// A preamble followed by a stream that ends mid-frame must produce a
+	// lock event and a decode error (truncated), not silence.
+	p := Params20()
+	l := mustLink(t, p, 0)
+	f := &Frame{Seq: 5, Data: []byte("0123456789")}
+	sig, err := l.TransmitFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := l.Phases(sig)
+	anchor, err := l.Decoder().CapturePreamble(phases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := anchor + (PreambleBits+HeaderBits/2)*p.BitPeriod // mid-header
+	events := pushChunked(t, l.Decoder(), phases[:cut], 512)
+	var sawLock, sawError bool
+	for _, ev := range events {
+		switch ev.Kind {
+		case EventLock:
+			sawLock = true
+		case EventFrame:
+			t.Fatalf("truncated stream produced a frame: %+v", ev.Frame)
+		case EventDecodeError:
+			sawError = true
+			if ev.Err == nil {
+				t.Error("decode-error event with nil Err")
+			}
+		}
+	}
+	if !sawLock || !sawError {
+		t.Errorf("sawLock=%v sawError=%v, want both", sawLock, sawError)
+	}
+}
+
+func TestFrameMachineResetReuse(t *testing.T) {
+	p := Params20()
+	l := mustLink(t, p, 0)
+	sig, err := l.TransmitFrame(&Frame{Seq: 1, Data: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := l.Phases(sig)
+	m := l.Decoder().NewFrameMachine()
+	run := func() int {
+		m.PushChunk(phases)
+		m.Flush()
+		n := 0
+		for _, ev := range m.Events() {
+			if ev.Kind == EventFrame {
+				n++
+			}
+		}
+		return n
+	}
+	if n := run(); n != 1 {
+		t.Fatalf("first run: %d frames", n)
+	}
+	m.Reset()
+	if n := run(); n != 1 {
+		t.Fatalf("after Reset: %d frames", n)
+	}
+}

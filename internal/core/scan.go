@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+
+	"symbee/internal/dsp"
+)
+
+// phaseWindow is a view of one contiguous span of the phase stream,
+// addressed by absolute stream index: data[0] holds the phase at stream
+// index base. The batch decoder uses a window with base 0 over the whole
+// capture; the streaming FrameMachine uses a bounded retained window
+// whose base advances as old phases are discarded. Every read is bounds
+// checked against the window, so code written against phaseWindow
+// behaves identically on both, provided the window covers the accessed
+// span.
+type phaseWindow struct {
+	data []float64
+	base int
+}
+
+// end returns one past the last stream index the window covers.
+func (w phaseWindow) end() int { return w.base + len(w.data) }
+
+// contains reports whether stream indices [from, to) are in the window.
+func (w phaseWindow) contains(from, to int) bool {
+	return from >= w.base && to <= w.end()
+}
+
+// at returns the phase at absolute stream index idx (caller must ensure
+// containment).
+func (w phaseWindow) at(idx int) float64 { return w.data[idx-w.base] }
+
+// foldCandidate is one local maximum of the preamble detection
+// statistic: a potential anchor with the fold-window mean that scored it.
+type foldCandidate struct {
+	anchor int
+	mean   float64
+}
+
+// preambleScanner is the incremental half of preamble capture (§V): it
+// consumes the phase stream one value at a time, maintaining the sliding
+// fold sums, the sign counter and the windowed mean across pushes, and
+// collects candidate anchors. It carries all state between pushes, so a
+// stream split at any chunk boundary scans identically to a single
+// batch pass — this is what lets internal/stream decode unbounded
+// captures with bounded memory.
+//
+// The scan semantics are exactly those of the former Decoder
+// capturePreamble loop: candidates are local maxima of the fold-mean
+// statistic, collected for a bounded refinement span after the first
+// threshold crossing; push reports true when that span is exhausted
+// (the batch loop's break). finish then runs candidate selection.
+type preambleScanner struct {
+	d        *Decoder
+	folder   *dsp.SlidingFolder
+	counter  *dsp.MovingSignCounter
+	mean     *dsp.MovingAverage
+	foldSpan int
+	// i is the absolute stream index of the next phase to consume.
+	i         int
+	cands     []foldCandidate
+	bestMean  float64
+	bestIdx   int
+	remaining int // ≥0 once in the refinement phase
+	done      bool
+}
+
+// newPreambleScanner returns a scanner whose next consumed phase has
+// absolute stream index start (0 for a batch pass over a whole capture).
+func (d *Decoder) newPreambleScanner(start int) *preambleScanner {
+	return &preambleScanner{
+		d:         d,
+		folder:    dsp.NewSlidingFolder(d.p.BitPeriod, PreambleBits),
+		counter:   dsp.NewMovingSignCounter(d.p.StableLen),
+		mean:      dsp.NewMovingAverage(d.p.StableLen),
+		foldSpan:  d.p.BitPeriod * PreambleBits,
+		i:         start,
+		bestIdx:   -1,
+		remaining: -1,
+	}
+}
+
+// locked reports whether the detection statistic has crossed the capture
+// threshold at least once (the stream holds a preamble-like pattern).
+func (s *preambleScanner) locked() bool { return s.remaining >= 0 }
+
+// push consumes one phase value (compensation already applied) and
+// reports whether the scan is complete: the bounded candidate-refinement
+// span after the first threshold crossing has been exhausted. Callers
+// must stop pushing once push returns true and move on to finish.
+func (s *preambleScanner) push(phi float64) bool {
+	if s.done {
+		return true
+	}
+	i := s.i
+	s.i++
+	sum, ok := s.folder.Push(phi)
+	if !ok {
+		return false
+	}
+	mean := s.mean.Push(sum)
+	full, _, nonneg := s.counter.Push(sum)
+	if !full {
+		return false
+	}
+	// The counter window covers fold anchors
+	// [i-foldSpan+1-StableLen+1 .. i-foldSpan+1].
+	anchor := i - s.foldSpan + 1 - s.d.p.StableLen + 1
+	if mean >= s.d.CaptureThreshold && nonneg >= s.d.p.TauSync {
+		if n := len(s.cands); n > 0 && anchor-s.cands[n-1].anchor < s.d.p.BitPeriod/2 {
+			if mean > s.cands[n-1].mean {
+				s.cands[n-1] = foldCandidate{anchor, mean}
+				if s.cands[n-1].mean > s.bestMean {
+					s.bestMean, s.bestIdx = mean, n-1
+				}
+			}
+		} else {
+			s.cands = append(s.cands, foldCandidate{anchor, mean})
+			if mean > s.bestMean {
+				s.bestMean, s.bestIdx = mean, len(s.cands)-1
+			}
+		}
+		if s.remaining < 0 {
+			s.remaining = 16*s.d.p.BitPeriod + 2*s.d.p.StableLen
+		}
+	}
+	if s.remaining >= 0 {
+		s.remaining--
+		if s.remaining <= 0 {
+			s.done = true
+			return true
+		}
+	}
+	return false
+}
+
+// selectionSpanEnd returns one past the highest stream index candidate
+// selection can read: the template refinement looks up to ±16 samples
+// around each candidate over PreambleBits periods, and the forward
+// template walk advances at most 16 bit periods, each probing one more
+// period. Once the stream (or retained window) covers this span, finish
+// produces the same anchor it would with the whole capture in hand —
+// the coverage gate the streaming machine waits on.
+func (s *preambleScanner) selectionSpanEnd() int {
+	if len(s.cands) == 0 {
+		return s.i
+	}
+	last := s.cands[len(s.cands)-1].anchor
+	return last + 17*s.d.p.BitPeriod + 16
+}
+
+// finish runs candidate selection over the scanned stream and returns
+// the refined preamble anchor. win must cover every phase the template
+// stage may touch: in batch mode the whole capture, in streaming mode
+// the retained history through selectionSpanEnd (or through end of
+// stream on a final flush). The selection logic — shortlist, template
+// alignment, earliest-strong-candidate rule and the anchor walk — is
+// the former tail of Decoder.capturePreamble, verbatim.
+func (s *preambleScanner) finish(win phaseWindow) (int, error) {
+	if s.bestIdx < 0 {
+		return 0, ErrNoPreamble
+	}
+	cands, bestMean, bestIdx := s.cands, s.bestMean, s.bestIdx
+	// Selection. The fold mean alone cannot identify the preamble: a
+	// run of zero DATA bits folds slightly STRONGER than the preamble
+	// itself (the preamble's leading stable run is clipped by the PHR
+	// junction, shrinking the usable window intersection to ≈86%),
+	// while the ZigBee header folds at ≈75% and partial window overlaps
+	// anywhere in between. So candidates within a generous band of the
+	// maximum are re-scored with the codeword TEMPLATE over
+	// PreambleBits periods — codeword-anchored candidates (preamble and
+	// zero-runs) tie at the full level, the header scores ≤½ — and the
+	// EARLIEST template-strong candidate wins: the preamble precedes
+	// every data run.
+	shortlist := cands[:0]
+	for _, c := range cands {
+		if c.mean >= 0.75*bestMean {
+			shortlist = append(shortlist, c)
+		}
+	}
+	// The fold plateau leaves ±10 samples of anchor jitter, and the
+	// template decorrelates within a few samples of misalignment, so
+	// each candidate is scored at its best alignment within a small
+	// window — which simultaneously refines the anchor.
+	d := s.d
+	maxS := 0.0
+	scores := make([]float64, len(shortlist))
+	for i := range shortlist {
+		sc, refined := d.alignTemplate(win, shortlist[i].anchor)
+		scores[i] = sc
+		shortlist[i].anchor = refined
+		if sc > maxS {
+			maxS = sc
+		}
+	}
+	best := cands[bestIdx].anchor
+	for i := range shortlist {
+		if scores[i] >= 0.85*maxS {
+			best = shortlist[i].anchor
+			break
+		}
+	}
+	// Template walk: pin the anchor to the first codeword period. A
+	// genuine codeword period correlates at the full level while the
+	// strongest possible impostor (PHR byte 0x37) reaches 61%, so 75%
+	// splits the hypotheses with margin for the anchor jitter of noisy
+	// captures. Walk forward off header periods (a selected partial
+	// overlap), then back across any contiguous codeword run.
+	if maxS > 0 {
+		for steps := 0; steps < 16; steps++ {
+			sc, selfOK := d.templateScore(win, best, 1)
+			if !selfOK || sc >= maxS*0.75 {
+				break
+			}
+			best += d.p.BitPeriod
+		}
+		for best-d.p.BitPeriod >= 0 {
+			sc, prevOK := d.templateScore(win, best-d.p.BitPeriod, 1)
+			if !prevOK || sc < maxS*0.75 {
+				break
+			}
+			best -= d.p.BitPeriod
+		}
+	}
+	return best, nil
+}
+
+// alignTemplate scores a candidate at its best alignment within ±16
+// samples and returns that score along with the refined anchor.
+func (d *Decoder) alignTemplate(win phaseWindow, anchor int) (float64, int) {
+	bestS, bestA := 0.0, anchor
+	for delta := -16; delta <= 16; delta += 2 {
+		if s, ok := d.templateScore(win, anchor+delta, PreambleBits); ok && s > bestS {
+			bestS, bestA = s, anchor+delta
+		}
+	}
+	return bestS, bestA
+}
+
+// templateScore is the matched-filter statistic behind the anchor
+// walk-back: the correlation of `periods` consecutive bit periods
+// starting at anchor with the ideal bit-0 phase profile, normalized per
+// value. anchor points at a stable-run start; the template is aligned
+// so its own run start coincides. Reads outside the window (before the
+// stream start in batch mode, outside the retained span in streaming
+// mode) return ok=false, exactly as the slice-based implementation did
+// for out-of-range anchors.
+func (d *Decoder) templateScore(win phaseWindow, anchor, periods int) (float64, bool) {
+	base := anchor - d.templateRunOffset
+	end := base + (periods-1)*d.p.BitPeriod + len(d.template)
+	if base < 0 || !win.contains(base, end) {
+		return 0, false
+	}
+	var s float64
+	for r := 0; r < periods; r++ {
+		seg := win.data[base+r*d.p.BitPeriod-win.base:]
+		for w, tv := range d.template {
+			s += seg[w] * tv
+		}
+	}
+	return s / float64(periods*len(d.template)), true
+}
+
+// decodeSyncBitsWin majority-votes n bits at their known positions
+// within the window (see DecodeSyncBits for the slice-based public
+// wrapper).
+func (d *Decoder) decodeSyncBitsWin(win phaseWindow, anchor, n int) ([]byte, error) {
+	bits := make([]byte, n)
+	for k := 0; k < n; k++ {
+		start := anchor + (PreambleBits+k)*d.p.BitPeriod
+		end := start + d.p.StableLen
+		if start < 0 || !win.contains(start, end) {
+			return bits[:k], fmt.Errorf("%w: bit %d needs [%d,%d), stream has %d",
+				ErrTruncated, k, start, end, win.end())
+		}
+		_, nonneg := dsp.SignCounts(win.data[start-win.base : end-win.base])
+		if nonneg >= d.p.TauSync {
+			bits[k] = 0
+		} else {
+			bits[k] = 1
+		}
+	}
+	return bits, nil
+}
+
+// decodeFrameWin reads the frame header at anchor, learns the data
+// length, decodes the remaining bits and validates the checksum.
+func (d *Decoder) decodeFrameWin(win phaseWindow, anchor int) (*Frame, error) {
+	header, err := d.decodeSyncBitsWin(win, anchor, HeaderBits)
+	if err != nil {
+		return nil, err
+	}
+	dataLen := 0
+	for _, b := range header[8:16] {
+		dataLen = dataLen<<1 | int(b)
+	}
+	if dataLen > MaxDataBytes {
+		return nil, fmt.Errorf("%w: header claims %d data bytes", ErrTruncated, dataLen)
+	}
+	total := HeaderBits + dataLen*8 + CRCBits
+	bits, err := d.decodeSyncBitsWin(win, anchor, total)
+	if err != nil {
+		return nil, err
+	}
+	return parseFrameBits(bits)
+}
+
+// decodeFrameWinWithRetry attempts decodeFrameWin at anchor and, on
+// failure, one bit period to either side — recovering captures that
+// locked on a period off. It reports the anchor that actually produced
+// the frame so streaming callers can place the frame's end in the
+// stream; on failure it returns the error of the unshifted attempt.
+func (d *Decoder) decodeFrameWinWithRetry(win phaseWindow, anchor int) (*Frame, int, error) {
+	frame, err := d.decodeFrameWin(win, anchor)
+	if err == nil {
+		return frame, anchor, nil
+	}
+	for _, shift := range []int{-d.p.BitPeriod, d.p.BitPeriod} {
+		if frame, retryErr := d.decodeFrameWin(win, anchor+shift); retryErr == nil {
+			return frame, anchor + shift, nil
+		}
+	}
+	return nil, anchor, err
+}

@@ -1,0 +1,80 @@
+package dsp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomIQ(n int, rng *rand.Rand) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestPhaseDiffStreamerMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randomIQ(5000, rng)
+	for _, lag := range []int{1, 16, 32} {
+		want := PhaseDiffStream(x, lag)
+		for _, chunk := range []int{1, 7, 16, 17, 4096, len(x)} {
+			s := NewPhaseDiffStreamer(lag)
+			var got []float64
+			for off := 0; off < len(x); off += chunk {
+				end := off + chunk
+				if end > len(x) {
+					end = len(x)
+				}
+				got = s.Process(x[off:end], got)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("lag %d chunk %d: %d phases, want %d", lag, chunk, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("lag %d chunk %d: phase[%d] = %v, want %v (must be bit-identical)",
+						lag, chunk, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestPhaseDiffStreamerWarmup(t *testing.T) {
+	s := NewPhaseDiffStreamer(4)
+	for i := 0; i < 4; i++ {
+		if _, ok := s.Push(complex(float64(i), 0)); ok {
+			t.Fatalf("phase emitted during warm-up at sample %d", i)
+		}
+	}
+	if _, ok := s.Push(1i); !ok {
+		t.Fatal("no phase after warm-up")
+	}
+}
+
+func TestPhaseDiffStreamerReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randomIQ(100, rng)
+	s := NewPhaseDiffStreamer(16)
+	first := s.Process(x, nil)
+	s.Reset()
+	second := s.Process(x, nil)
+	if len(first) != len(second) {
+		t.Fatalf("run lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("Reset did not restore initial state")
+		}
+	}
+}
+
+func TestPhaseDiffStreamerPanicsOnBadLag(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for lag 0")
+		}
+	}()
+	NewPhaseDiffStreamer(0)
+}

@@ -1,0 +1,207 @@
+package stream
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"symbee/internal/core"
+)
+
+// Chunk is one unit of ingestion: a slab of IQ samples or phase values
+// belonging to one stream. Exactly one of IQ/Phases should be set (both
+// set is allowed and processes IQ first). The pool copies nothing on
+// the ingest path — the chunk slices are handed to the owning worker,
+// so the producer must not reuse them until the chunk is processed;
+// producers that recycle buffers should hand over fresh slices or wait
+// for the stream's flush.
+type Chunk struct {
+	// Stream identifies the logical link the samples belong to. All
+	// chunks of one stream are processed in ingest order by one worker.
+	Stream uint64
+	// IQ samples (front-end input).
+	IQ []complex128
+	// Phases values (front-end already applied).
+	Phases []float64
+	// Flush marks the end of the stream: the session decodes whatever
+	// remains and is torn down.
+	Flush bool
+}
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Params is the receiver parameter set (Params20/Params40/...).
+	Params core.Params
+	// Compensation is the CFO compensation every stream's decoder
+	// applies (wifi.CanonicalCompensation for real channel pairs, 0 for
+	// baseband-aligned captures).
+	Compensation float64
+	// Workers is the number of shard goroutines; ≤0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth is each worker's chunk queue capacity; ≤0 means 64.
+	QueueDepth int
+	// DropWhenFull selects the backpressure policy: when a worker's
+	// queue is full, Ingest either blocks until there is room (false,
+	// the default — lossless, producer-paced) or rejects the chunk and
+	// counts it in Metrics.Drops (true — real-time, receiver-paced).
+	DropWhenFull bool
+	// OnEvent, when set, receives every stream event. It is called from
+	// worker goroutines (one call at a time per stream, but concurrent
+	// across streams) and must be fast or thread-safe accordingly.
+	OnEvent func(Event)
+	// Metrics receives stage instrumentation; nil allocates a private
+	// registry (retrievable via Pool.Metrics).
+	Metrics *Metrics
+}
+
+// Pool is the sharded streaming receiver: N worker goroutines, each
+// owning the sessions of the streams sharded to it, fed by bounded
+// channels. Stream state is touched only by its owning worker, so the
+// decode hot path takes no locks; the only synchronization is the
+// channel handoff and the atomic metrics.
+type Pool struct {
+	cfg     Config
+	decoder *core.Decoder
+	workers []*worker
+	metrics *Metrics
+	wg      sync.WaitGroup
+	closed  bool
+	mu      sync.Mutex // guards closed and the Close transition
+}
+
+type worker struct {
+	in       chan Chunk
+	sessions map[uint64]*Receiver
+	pool     *Pool
+}
+
+// NewPool starts the workers and returns the pool. Callers must Close
+// it to flush outstanding sessions and join the goroutines.
+func NewPool(cfg Config) (*Pool, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
+	}
+	d, err := core.NewDecoder(cfg.Params, cfg.Compensation)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	p := &Pool{cfg: cfg, decoder: d, metrics: cfg.Metrics}
+	p.workers = make([]*worker, cfg.Workers)
+	for i := range p.workers {
+		w := &worker{
+			in:       make(chan Chunk, cfg.QueueDepth),
+			sessions: make(map[uint64]*Receiver),
+			pool:     p,
+		}
+		p.workers[i] = w
+		p.wg.Add(1)
+		go w.run()
+	}
+	return p, nil
+}
+
+// Metrics returns the pool's registry.
+func (p *Pool) Metrics() *Metrics { return p.metrics }
+
+// Workers returns the shard count.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// shard routes a stream ID to its owning worker.
+func (p *Pool) shard(stream uint64) *worker {
+	return p.workers[stream%uint64(len(p.workers))]
+}
+
+// Ingest hands a chunk to the owning worker. It reports whether the
+// chunk was accepted: with DropWhenFull it returns false (and counts a
+// drop) when the worker's queue is full; otherwise it blocks until
+// there is room and always returns true. Ingest is safe for concurrent
+// use by multiple producers; chunks of one stream keep their order only
+// when produced by a single goroutine. Ingest must not be called after
+// Close.
+func (p *Pool) Ingest(c Chunk) bool {
+	w := p.shard(c.Stream)
+	if p.cfg.DropWhenFull {
+		select {
+		case w.in <- c:
+		default:
+			p.metrics.Drops.Add(1)
+			return false
+		}
+	} else {
+		w.in <- c
+	}
+	p.metrics.ChunksIn.Add(1)
+	return true
+}
+
+// Close flushes every open session (emitting any final events), stops
+// the workers and waits for them to drain. Safe to call once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for _, w := range p.workers {
+		close(w.in)
+	}
+	p.wg.Wait()
+}
+
+func (w *worker) run() {
+	defer w.pool.wg.Done()
+	for c := range w.in {
+		w.process(c)
+	}
+	// Channel closed: flush whatever sessions remain so no buffered
+	// frame is lost at shutdown.
+	for id, r := range w.sessions {
+		r.Flush()
+		w.emit(r)
+		delete(w.sessions, id)
+		w.pool.metrics.StreamsFlushed.Add(1)
+	}
+}
+
+func (w *worker) process(c Chunk) {
+	start := time.Now()
+	r, ok := w.sessions[c.Stream]
+	if !ok {
+		r = NewReceiverFromDecoder(w.pool.decoder, w.pool.metrics)
+		r.id = c.Stream
+		w.sessions[c.Stream] = r
+		w.pool.metrics.StreamsOpened.Add(1)
+	}
+	if len(c.IQ) > 0 {
+		r.PushIQ(c.IQ)
+	}
+	if len(c.Phases) > 0 {
+		r.PushPhases(c.Phases)
+	}
+	if c.Flush {
+		r.Flush()
+		delete(w.sessions, c.Stream)
+		w.pool.metrics.StreamsFlushed.Add(1)
+	}
+	w.emit(r)
+	w.pool.metrics.ChunkNanos.Observe(float64(time.Since(start)))
+}
+
+func (w *worker) emit(r *Receiver) {
+	events := r.Drain()
+	if w.pool.cfg.OnEvent == nil {
+		return
+	}
+	for _, ev := range events {
+		w.pool.cfg.OnEvent(ev)
+	}
+}

@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"time"
+
+	"symbee/internal/core"
+	"symbee/internal/dsp"
+)
+
+// Event is one occurrence on one stream: a preamble lock, a decoded
+// frame, or a decode failure. It wraps core.StreamEvent with the stream
+// identity so pool consumers can demultiplex.
+type Event struct {
+	Stream uint64
+	core.StreamEvent
+}
+
+// Receiver is the complete per-stream receive chain: the incremental
+// IQ→phase front-end feeding a per-stream FrameMachine. It accepts IQ
+// or phase chunks of any size and emits events exactly as a batch
+// decode of the concatenated stream would. A Receiver is owned by one
+// goroutine (its pool worker); it is not safe for concurrent use.
+type Receiver struct {
+	id      uint64
+	phaser  *dsp.PhaseDiffStreamer
+	machine *core.FrameMachine
+	metrics *Metrics
+	scratch []float64
+	pending []Event
+}
+
+// NewReceiver builds a single-stream receiver. metrics may be nil for
+// an uninstrumented receiver (the hot path then skips all accounting).
+func NewReceiver(p core.Params, compensation float64, metrics *Metrics) (*Receiver, error) {
+	d, err := core.NewDecoder(p, compensation)
+	if err != nil {
+		return nil, err
+	}
+	return NewReceiverFromDecoder(d, metrics), nil
+}
+
+// NewReceiverFromDecoder wraps an existing decoder (useful when many
+// receivers share one template/threshold configuration).
+func NewReceiverFromDecoder(d *core.Decoder, metrics *Metrics) *Receiver {
+	return &Receiver{
+		phaser:  dsp.NewPhaseDiffStreamer(d.Params().Lag),
+		machine: d.NewFrameMachine(),
+		metrics: metrics,
+	}
+}
+
+// PushIQ consumes a chunk of IQ samples: the lag-ring front-end turns
+// them into phases, which feed the frame machine.
+func (r *Receiver) PushIQ(iq []complex128) {
+	var start time.Time
+	if r.metrics != nil {
+		start = time.Now()
+	}
+	r.scratch = r.phaser.Process(iq, r.scratch[:0])
+	var mid time.Time
+	if r.metrics != nil {
+		mid = time.Now()
+		r.metrics.SamplesIn.Add(uint64(len(iq)))
+		r.metrics.PhasesProduced.Add(uint64(len(r.scratch)))
+		r.metrics.PhaseNanos.Observe(float64(mid.Sub(start)))
+	}
+	r.machine.PushChunk(r.scratch)
+	if r.metrics != nil {
+		r.metrics.DecodeNanos.Observe(float64(time.Since(mid)))
+	}
+	r.account()
+}
+
+// PushPhases consumes a chunk of already-computed phase values (a
+// KindPhase trace, or an external front-end).
+func (r *Receiver) PushPhases(phases []float64) {
+	var start time.Time
+	if r.metrics != nil {
+		start = time.Now()
+	}
+	r.machine.PushChunk(phases)
+	if r.metrics != nil {
+		r.metrics.PhasesIn.Add(uint64(len(phases)))
+		r.metrics.DecodeNanos.Observe(float64(time.Since(start)))
+	}
+	r.account()
+}
+
+// Flush ends the stream, forcing any pending decode with the data at
+// hand.
+func (r *Receiver) Flush() {
+	r.machine.Flush()
+	r.account()
+}
+
+// account moves freshly produced machine events into the pending queue,
+// tagging them with the stream ID and folding counts into the shared
+// metrics exactly once per event.
+func (r *Receiver) account() {
+	for _, ev := range r.machine.Events() {
+		if r.metrics != nil {
+			switch ev.Kind {
+			case core.EventLock:
+				r.metrics.Locks.Add(1)
+			case core.EventFrame:
+				r.metrics.FramesDecoded.Add(1)
+			case core.EventDecodeError:
+				r.metrics.FramesFailed.Add(1)
+			}
+		}
+		r.pending = append(r.pending, Event{Stream: r.id, StreamEvent: ev})
+	}
+}
+
+// Drain returns the events produced since the last call, tagged with
+// the receiver's stream ID.
+func (r *Receiver) Drain() []Event {
+	out := r.pending
+	r.pending = nil
+	return out
+}
+
+// State returns the underlying machine stage (for diagnostics).
+func (r *Receiver) State() core.MachineState { return r.machine.State() }
+
+// Buffered returns the machine's retained history length in phases.
+func (r *Receiver) Buffered() int { return r.machine.Buffered() }

@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"errors"
+	"io"
 	"math"
 	"math/rand"
 	"path/filepath"
@@ -54,6 +55,72 @@ func TestPhaseRoundTripFile(t *testing.T) {
 	for i := range tr.Phases {
 		if got.Phases[i] != tr.Phases[i] {
 			t.Fatalf("phase %d mismatch", i)
+		}
+	}
+}
+
+// chunkedReader yields at most chunk bytes per Read call, exercising
+// readers that deliver data in arbitrary small pieces (pipes, sockets,
+// throttled replays).
+type chunkedReader struct {
+	data  []byte
+	chunk int
+}
+
+func (c *chunkedReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := c.chunk
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+func TestChunkedReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	iq := &Trace{Kind: KindIQ, SampleRate: 20e6, IQ: make([]complex128, 777)}
+	for i := range iq.IQ {
+		iq.IQ[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	ph := &Trace{Kind: KindPhase, SampleRate: 40e6, Phases: make([]float64, 1234)}
+	for i := range ph.Phases {
+		ph.Phases[i] = rng.NormFloat64()
+	}
+	for _, tr := range []*Trace{iq, ph} {
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, chunk := range []int{1, 7, 4096} {
+			got, err := Read(&chunkedReader{data: buf.Bytes(), chunk: chunk})
+			if err != nil {
+				t.Fatalf("kind %d chunk %d: %v", tr.Kind, chunk, err)
+			}
+			if got.Kind != tr.Kind || got.SampleRate != tr.SampleRate || got.Len() != tr.Len() {
+				t.Fatalf("kind %d chunk %d: header mismatch: %+v", tr.Kind, chunk, got)
+			}
+			switch tr.Kind {
+			case KindIQ:
+				for i := range tr.IQ {
+					if math.Abs(real(tr.IQ[i])-real(got.IQ[i])) > 1e-6 ||
+						math.Abs(imag(tr.IQ[i])-imag(got.IQ[i])) > 1e-6 {
+						t.Fatalf("chunk %d: IQ sample %d mismatch", chunk, i)
+					}
+				}
+			case KindPhase:
+				for i := range tr.Phases {
+					if got.Phases[i] != tr.Phases[i] {
+						t.Fatalf("chunk %d: phase %d mismatch", chunk, i)
+					}
+				}
+			}
 		}
 	}
 }

@@ -84,23 +84,49 @@ func (m *Messenger) Signals(msg []byte) ([][]complex128, error) {
 
 // Reassembler rebuilds messages from received frames. It tolerates
 // duplicate deliveries of the current fragment but reports gaps, after
-// which it resets to await a fresh message start.
+// which it discards the partial message and resynchronizes on the next
+// message start.
+//
+// Nothing marks a fragment as a message start — sequence numbers run
+// continuously across messages — so the only recognizable boundary is
+// the far side of a final fragment (FlagMore clear). After a gap the
+// reassembler therefore drops frames until one with FlagMore clear has
+// passed; the frame after that begins a fresh message. Accepting
+// arbitrary frames right after a gap instead (as this type originally
+// did) delivers truncated messages: lose the last fragment of one
+// message and the tail fragments of the NEXT message come back as a
+// complete short message.
 type Reassembler struct {
 	buf     []byte
 	nextSeq byte
 	active  bool
+	resync  bool
 }
 
 // Add feeds one received frame. When the frame completes a message the
 // message is returned with done=true. A sequence gap returns
-// ErrFragmentGap and discards the partial message.
+// ErrFragmentGap and discards the partial message; subsequent frames
+// are silently dropped (msg=nil, done=false, err=nil) until a message
+// boundary restores synchronization.
 func (r *Reassembler) Add(f *Frame) (msg []byte, done bool, err error) {
+	if r.resync {
+		// Still inside a message whose head is lost: every fragment up
+		// to and including the next final one belongs to it.
+		if f.Flags&FlagMore == 0 {
+			r.resync = false
+		}
+		return nil, false, nil
+	}
 	if r.active {
 		switch {
 		case f.Seq == r.nextSeq-1 && f.Flags&FlagMore != 0:
 			return nil, false, nil // duplicate of the previous fragment
 		case f.Seq != r.nextSeq:
 			r.Reset()
+			// The gap frame itself is consumed by resynchronization:
+			// if it ends a message the stream is back at a boundary,
+			// otherwise keep dropping until one does.
+			r.resync = f.Flags&FlagMore != 0
 			return nil, false, fmt.Errorf("%w: got seq %d", ErrFragmentGap, f.Seq)
 		}
 	}
@@ -115,9 +141,12 @@ func (r *Reassembler) Add(f *Frame) (msg []byte, done bool, err error) {
 	return out, true, nil
 }
 
-// Reset discards any partially assembled message.
+// Reset returns the reassembler to a fresh state: any partially
+// assembled message is discarded and the next frame fed to Add starts a
+// new message, even if a gap had left the reassembler resynchronizing.
 func (r *Reassembler) Reset() {
 	r.buf = nil
 	r.active = false
 	r.nextSeq = 0
+	r.resync = false
 }

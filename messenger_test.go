@@ -1,0 +1,144 @@
+package symbee
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestReassemblerResyncAfterLostTail is the regression test for the
+// truncated-delivery bug: losing the LAST fragment of one message made
+// the old reassembler accept the tail of the NEXT message as a complete
+// short message. The fixed reassembler drops frames until a message
+// boundary passes and resumes cleanly on the message after that.
+func TestReassemblerResyncAfterLostTail(t *testing.T) {
+	link, err := NewLink(Params20(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMessenger(link)
+	msg1 := bytes.Repeat([]byte{0xA1}, MaxDataBytes*3)
+	msg2 := bytes.Repeat([]byte{0xB2}, MaxDataBytes*2)
+	msg3 := []byte("after")
+	frames1, err := m.Fragment(msg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames2, err := m.Fragment(msg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames3, err := m.Fragment(msg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var r Reassembler
+	// msg1 arrives minus its final fragment.
+	for _, f := range frames1[:len(frames1)-1] {
+		if _, done, err := r.Add(f); err != nil || done {
+			t.Fatalf("msg1 prefix: done=%v err=%v", done, err)
+		}
+	}
+	// msg2's first fragment exposes the gap.
+	if _, _, err := r.Add(frames2[0]); !errors.Is(err, ErrFragmentGap) {
+		t.Fatalf("err = %v, want ErrFragmentGap", err)
+	}
+	// msg2's final fragment must be DROPPED, not delivered as a message:
+	// the reassembler cannot know it isn't the tail of the broken one.
+	msg, done, err := r.Add(frames2[1])
+	if err != nil || done || msg != nil {
+		t.Fatalf("post-gap tail delivered: msg=%q done=%v err=%v", msg, done, err)
+	}
+	// The boundary has now passed: msg3 reassembles normally.
+	got, done, err := r.Add(frames3[0])
+	if err != nil || !done || !bytes.Equal(got, msg3) {
+		t.Fatalf("msg3 after resync: msg=%q done=%v err=%v", got, done, err)
+	}
+}
+
+// TestReassemblerResyncAcrossContinuations: when the gap frame itself
+// has FlagMore set, every following continuation fragment is dropped
+// too, not just the first.
+func TestReassemblerResyncAcrossContinuations(t *testing.T) {
+	link, err := NewLink(Params20(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMessenger(link)
+	frames1, err := m.Fragment(bytes.Repeat([]byte{1}, MaxDataBytes*2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames2, err := m.Fragment(bytes.Repeat([]byte{2}, MaxDataBytes*4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var r Reassembler
+	if _, _, err := r.Add(frames1[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Lose frames1[1]; msg2 starts with a continuation-flagged frame.
+	if _, _, err := r.Add(frames2[0]); !errors.Is(err, ErrFragmentGap) {
+		t.Fatalf("err = %v, want ErrFragmentGap", err)
+	}
+	for i, f := range frames2[1:] {
+		msg, done, err := r.Add(f)
+		if err != nil || done || msg != nil {
+			t.Fatalf("resync frame %d: msg=%q done=%v err=%v", i, msg, done, err)
+		}
+	}
+	// Boundary passed with frames2's final fragment: next message works.
+	fresh, err := m.Fragment([]byte("fresh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, done, err := r.Add(fresh[0])
+	if err != nil || !done || !bytes.Equal(got, []byte("fresh")) {
+		t.Fatalf("post-resync message: msg=%q done=%v err=%v", got, done, err)
+	}
+}
+
+// TestReassemblerResetClearsResync: an explicit Reset abandons
+// resynchronization and the very next frame starts a message.
+func TestReassemblerResetClearsResync(t *testing.T) {
+	link, err := NewLink(Params20(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMessenger(link)
+	frames1, err := m.Fragment(bytes.Repeat([]byte{1}, MaxDataBytes*2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames2, err := m.Fragment(bytes.Repeat([]byte{2}, MaxDataBytes*2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Reassembler
+	if _, _, err := r.Add(frames1[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Add(frames2[0]); !errors.Is(err, ErrFragmentGap) {
+		t.Fatalf("err = %v, want ErrFragmentGap", err)
+	}
+	r.Reset()
+	msg, err := func() ([]byte, error) {
+		fresh, err := m.Fragment([]byte("go"))
+		if err != nil {
+			return nil, err
+		}
+		got, done, err := r.Add(fresh[0])
+		if err != nil || !done {
+			t.Fatalf("after Reset: done=%v err=%v", done, err)
+		}
+		return got, nil
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(msg, []byte("go")) {
+		t.Fatalf("after Reset got %q", msg)
+	}
+}
