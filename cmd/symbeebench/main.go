@@ -10,6 +10,7 @@
 //	symbeebench -all
 //	symbeebench -run fig12 -packets 200 -seed 7 -csv
 //	symbeebench -stream -stream-out BENCH_stream.json
+//	symbeebench -kernel -kernel-out BENCH_kernel.json -kernel-baseline BENCH_kernel.json
 package main
 
 import (
@@ -35,8 +36,20 @@ func main() {
 		streamOut     = flag.String("stream-out", "BENCH_stream.json", "file for the stream throughput JSON artifact (\"\" = don't write)")
 		streamChunk   = flag.Int("stream-chunk", 4096, "stream bench chunk size in samples")
 		streamSamples = flag.Uint64("stream-samples", 50_000_000, "minimum samples the stream bench replays")
+
+		kernelBench    = flag.Bool("kernel", false, "measure the phase-extraction kernels (exact vs fast atan2, classify)")
+		kernelOut      = flag.String("kernel-out", "BENCH_kernel.json", "file for the kernel JSON artifact (\"\" = don't write)")
+		kernelSamples  = flag.Int("kernel-samples", 1<<20, "lag-product samples per kernel pass")
+		kernelBaseline = flag.String("kernel-baseline", "", "baseline BENCH_kernel.json to gate against (fail on >20% speedup regression)")
 	)
 	flag.Parse()
+	if *kernelBench {
+		if err := runKernelBench(*seed, *kernelSamples, *kernelOut, *kernelBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, "symbeebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *streamBench {
 		if err := runStreamBench(*seed, *streamChunk, *streamSamples, *streamOut); err != nil {
 			fmt.Fprintln(os.Stderr, "symbeebench:", err)

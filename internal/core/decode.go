@@ -186,7 +186,7 @@ func (d *Decoder) DecodeSyncBits(phases []float64, anchor, n int) ([]byte, error
 }
 
 func (d *Decoder) decodeSyncBits(phases []float64, anchor, n int) ([]byte, error) {
-	return d.decodeSyncBitsWin(phaseWindow{data: phases}, anchor, n)
+	return d.decodeSyncBitsWin(phaseWindow{data: phases}, anchor, n, nil)
 }
 
 // SyncBitMargins reports, for each of n bits, the number of nonnegative

@@ -107,6 +107,11 @@ type FrameMachine struct {
 	lockEmitted bool
 	flushed     bool
 	events      []StreamEvent
+	// bitBuf is the frame bit-decode scratch (maxFrameBits once a frame
+	// has been attempted); with the scanner reset-in-place and the
+	// events buffer recycled by Events, it keeps the machine's sustained
+	// push path free of per-sample and per-frame allocations.
+	bitBuf []byte
 }
 
 // maxFrameBits is the largest on-air frame body in SymBee bits.
@@ -151,9 +156,13 @@ func (m *FrameMachine) Buffered() int { return len(m.buf) }
 func (m *FrameMachine) Pushed() int { return m.n }
 
 // Events drains and returns the events produced since the last call.
+// The returned slice is the machine's internal queue and is reused: it
+// stays valid only until the next PushChunk or Flush. Callers that
+// retain events across pushes must copy them (the element values, not
+// the slice header — Frame pointers stay valid indefinitely).
 func (m *FrameMachine) Events() []StreamEvent {
 	ev := m.events
-	m.events = nil
+	m.events = m.events[:0]
 	return ev
 }
 
@@ -188,11 +197,11 @@ func (m *FrameMachine) Flush() {
 func (m *FrameMachine) Reset() {
 	m.buf = m.buf[:0]
 	m.base, m.n, m.scanPos = 0, 0, 0
-	m.scan = m.d.newPreambleScanner(0)
+	m.scan.reset(0)
 	m.state = StateHunting
 	m.lockEmitted = false
 	m.flushed = false
-	m.events = nil
+	m.events = m.events[:0]
 }
 
 // advance runs the state machine as far as the buffered stream allows.
@@ -234,7 +243,10 @@ func (m *FrameMachine) advance() {
 			if m.n < m.needUpTo && !m.flushed {
 				return
 			}
-			frame, usedAnchor, err := m.d.decodeFrameWinWithRetry(m.window(), m.anchor)
+			if m.bitBuf == nil {
+				m.bitBuf = make([]byte, maxFrameBits)
+			}
+			frame, usedAnchor, err := m.d.decodeFrameWinWithRetry(m.window(), m.anchor, m.bitBuf)
 			if err != nil {
 				m.events = append(m.events, StreamEvent{Kind: EventDecodeError, Anchor: m.anchor, Err: err})
 				m.rearm(m.scanPos)
@@ -267,11 +279,11 @@ func (m *FrameMachine) feedScanner() bool {
 	return false
 }
 
-// rearm restarts hunting at stream index from: the scanner is rebuilt
-// cold (fold warm-up included) and already-buffered phases past from
-// will be rescanned by the caller's advance loop. Frame bodies are
-// skipped wholesale (from = frame end), so their codeword runs cannot
-// re-trigger the fold detector.
+// rearm restarts hunting at stream index from: the scanner is reset
+// cold (fold warm-up included, rings reused in place) and
+// already-buffered phases past from will be rescanned by the caller's
+// advance loop. Frame bodies are skipped wholesale (from = frame end),
+// so their codeword runs cannot re-trigger the fold detector.
 func (m *FrameMachine) rearm(from int) {
 	if from < m.scanPos {
 		from = m.scanPos
@@ -280,7 +292,7 @@ func (m *FrameMachine) rearm(from int) {
 		from = m.n
 	}
 	m.scanPos = from
-	m.scan = m.d.newPreambleScanner(from)
+	m.scan.reset(from)
 	m.state = StateHunting
 	m.lockEmitted = false
 	m.trim()

@@ -71,7 +71,7 @@ func TestFrameRetryRecoversShiftedAnchor(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, shift := range []int{-p.BitPeriod, 0, p.BitPeriod} {
-		got, _, err := dec.decodeFrameWinWithRetry(phaseWindow{data: phases}, anchor+shift)
+		got, _, err := dec.decodeFrameWinWithRetry(phaseWindow{data: phases}, anchor+shift, nil)
 		if err != nil {
 			t.Errorf("shift %+d: %v", shift, err)
 			continue

@@ -64,21 +64,39 @@ type preambleScanner struct {
 	bestIdx   int
 	remaining int // ≥0 once in the refinement phase
 	done      bool
+	// scores is finish's per-shortlist scratch, retained so a scanner
+	// that is reset per frame keeps the streaming decode allocation-free.
+	scores []float64
 }
 
 // newPreambleScanner returns a scanner whose next consumed phase has
 // absolute stream index start (0 for a batch pass over a whole capture).
 func (d *Decoder) newPreambleScanner(start int) *preambleScanner {
-	return &preambleScanner{
-		d:         d,
-		folder:    dsp.NewSlidingFolder(d.p.BitPeriod, PreambleBits),
-		counter:   dsp.NewMovingSignCounter(d.p.StableLen),
-		mean:      dsp.NewMovingAverage(d.p.StableLen),
-		foldSpan:  d.p.BitPeriod * PreambleBits,
-		i:         start,
-		bestIdx:   -1,
-		remaining: -1,
+	s := &preambleScanner{
+		d:        d,
+		folder:   dsp.NewSlidingFolder(d.p.BitPeriod, PreambleBits),
+		counter:  dsp.NewMovingSignCounter(d.p.StableLen),
+		mean:     dsp.NewMovingAverage(d.p.StableLen),
+		foldSpan: d.p.BitPeriod * PreambleBits,
 	}
+	s.reset(start)
+	return s
+}
+
+// reset rewinds the scanner to a cold hunting state whose next consumed
+// phase has absolute stream index start, reusing the DSP rings and the
+// candidate storage. The streaming FrameMachine resets one scanner per
+// rearm instead of allocating a fresh one per frame.
+func (s *preambleScanner) reset(start int) {
+	s.folder.Reset()
+	s.counter.Reset()
+	s.mean.Reset()
+	s.i = start
+	s.cands = s.cands[:0]
+	s.bestMean = 0
+	s.bestIdx = -1
+	s.remaining = -1
+	s.done = false
 }
 
 // locked reports whether the detection statistic has crossed the capture
@@ -185,7 +203,10 @@ func (s *preambleScanner) finish(win phaseWindow) (int, error) {
 	// window — which simultaneously refines the anchor.
 	d := s.d
 	maxS := 0.0
-	scores := make([]float64, len(shortlist))
+	if cap(s.scores) < len(shortlist) {
+		s.scores = make([]float64, len(shortlist))
+	}
+	scores := s.scores[:len(shortlist)]
 	for i := range shortlist {
 		sc, refined := d.alignTemplate(win, shortlist[i].anchor)
 		scores[i] = sc
@@ -264,9 +285,18 @@ func (d *Decoder) templateScore(win phaseWindow, anchor, periods int) (float64, 
 
 // decodeSyncBitsWin majority-votes n bits at their known positions
 // within the window (see DecodeSyncBits for the slice-based public
-// wrapper).
-func (d *Decoder) decodeSyncBitsWin(win phaseWindow, anchor, n int) ([]byte, error) {
-	bits := make([]byte, n)
+// wrapper). buf, when capacious enough, backs the returned bit slice so
+// streaming callers can keep the per-frame decode allocation-free; pass
+// nil to allocate.
+func (d *Decoder) decodeSyncBitsWin(win phaseWindow, anchor, n int, buf []byte) ([]byte, error) {
+	// Every returned position is explicitly written below, so reused
+	// scratch needs no zeroing.
+	var bits []byte
+	if cap(buf) >= n {
+		bits = buf[:n]
+	} else {
+		bits = make([]byte, n)
+	}
 	for k := 0; k < n; k++ {
 		start := anchor + (PreambleBits+k)*d.p.BitPeriod
 		end := start + d.p.StableLen
@@ -285,9 +315,10 @@ func (d *Decoder) decodeSyncBitsWin(win phaseWindow, anchor, n int) ([]byte, err
 }
 
 // decodeFrameWin reads the frame header at anchor, learns the data
-// length, decodes the remaining bits and validates the checksum.
-func (d *Decoder) decodeFrameWin(win phaseWindow, anchor int) (*Frame, error) {
-	header, err := d.decodeSyncBitsWin(win, anchor, HeaderBits)
+// length, decodes the remaining bits and validates the checksum. buf is
+// the optional bit-decode scratch (see decodeSyncBitsWin).
+func (d *Decoder) decodeFrameWin(win phaseWindow, anchor int, buf []byte) (*Frame, error) {
+	header, err := d.decodeSyncBitsWin(win, anchor, HeaderBits, buf)
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +330,7 @@ func (d *Decoder) decodeFrameWin(win phaseWindow, anchor int) (*Frame, error) {
 		return nil, fmt.Errorf("%w: header claims %d data bytes", ErrTruncated, dataLen)
 	}
 	total := HeaderBits + dataLen*8 + CRCBits
-	bits, err := d.decodeSyncBitsWin(win, anchor, total)
+	bits, err := d.decodeSyncBitsWin(win, anchor, total, buf)
 	if err != nil {
 		return nil, err
 	}
@@ -311,13 +342,13 @@ func (d *Decoder) decodeFrameWin(win phaseWindow, anchor int) (*Frame, error) {
 // locked on a period off. It reports the anchor that actually produced
 // the frame so streaming callers can place the frame's end in the
 // stream; on failure it returns the error of the unshifted attempt.
-func (d *Decoder) decodeFrameWinWithRetry(win phaseWindow, anchor int) (*Frame, int, error) {
-	frame, err := d.decodeFrameWin(win, anchor)
+func (d *Decoder) decodeFrameWinWithRetry(win phaseWindow, anchor int, buf []byte) (*Frame, int, error) {
+	frame, err := d.decodeFrameWin(win, anchor, buf)
 	if err == nil {
 		return frame, anchor, nil
 	}
 	for _, shift := range []int{-d.p.BitPeriod, d.p.BitPeriod} {
-		if frame, retryErr := d.decodeFrameWin(win, anchor+shift); retryErr == nil {
+		if frame, retryErr := d.decodeFrameWin(win, anchor+shift, buf); retryErr == nil {
 			return frame, anchor + shift, nil
 		}
 	}

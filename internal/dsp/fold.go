@@ -94,11 +94,11 @@ func (f *SlidingFolder) Push(v float64) (sum float64, ok bool) {
 	return sum, true
 }
 
-// Reset returns the folder to its initial empty state.
+// Reset returns the folder to its initial empty state. O(1): stale ring
+// values are never read, because Push only sums once count reaches the
+// ring length again, by which point every slot has been rewritten —
+// this keeps per-frame scanner rearming on the streaming path cheap.
 func (f *SlidingFolder) Reset() {
-	for i := range f.ring {
-		f.ring[i] = 0
-	}
 	f.pos = 0
 	f.count = 0
 }

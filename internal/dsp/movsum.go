@@ -86,3 +86,9 @@ func (a *MovingAverage) Push(v float64) float64 {
 
 // Full reports whether the window has been completely filled.
 func (a *MovingAverage) Full() bool { return a.fill == len(a.ring) }
+
+// Reset empties the window so the average can be reused without
+// reallocating its ring.
+func (a *MovingAverage) Reset() {
+	a.pos, a.fill, a.sum = 0, 0, 0
+}

@@ -40,6 +40,10 @@ func WrapPhase(phi float64) float64 {
 // (autocorrelation) block computes on every incoming sample; SymBee
 // decoding consumes it directly (paper Eq. 1, with lag = 16 at 20 Msps and
 // lag = 32 at 40 Msps).
+//
+// Angles come from the phase kernel (FastAtan2 unless UseExactPhase is
+// set); the flag is read once per call, so a capture is computed with
+// one kernel throughout.
 func PhaseDiffStream(x []complex128, lag int) []float64 {
 	if lag <= 0 {
 		panic("dsp: PhaseDiffStream lag must be positive")
@@ -48,9 +52,16 @@ func PhaseDiffStream(x []complex128, lag int) []float64 {
 		return nil
 	}
 	out := make([]float64, len(x)-lag)
+	if UseExactPhase {
+		for n := range out {
+			p := x[n] * complex(real(x[n+lag]), -imag(x[n+lag]))
+			out[n] = math.Atan2(imag(p), real(p))
+		}
+		return out
+	}
 	for n := range out {
 		p := x[n] * complex(real(x[n+lag]), -imag(x[n+lag]))
-		out[n] = math.Atan2(imag(p), real(p))
+		out[n] = FastAtan2(imag(p), real(p))
 	}
 	return out
 }

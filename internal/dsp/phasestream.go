@@ -1,7 +1,5 @@
 package dsp
 
-import "math"
-
 // PhaseDiffStreamer computes the idle-listening phase stream
 // incrementally: IQ samples are pushed in arbitrarily sized chunks and
 // each phase value is emitted as soon as its lag-delayed partner sample
@@ -48,10 +46,10 @@ func (s *PhaseDiffStreamer) Push(x complex128) (phi float64, ok bool) {
 	if s.pos == s.lag {
 		s.pos = 0
 	}
-	// Same expression as PhaseDiffStream so the two paths agree to the
-	// last bit: p = x[n] · conj(x[n+lag]).
+	// Same expression and kernel as PhaseDiffStream so the two paths
+	// agree to the last bit: p = x[n] · conj(x[n+lag]).
 	p := old * complex(real(x), -imag(x))
-	return math.Atan2(imag(p), real(p)), true
+	return phaseOf(p), true
 }
 
 // Process pushes every sample of in and appends the phases that become

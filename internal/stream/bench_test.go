@@ -9,7 +9,7 @@ import (
 	"symbee/internal/wifi"
 )
 
-func benchCapture(b *testing.B, p core.Params) []complex128 {
+func benchCapture(b testing.TB, p core.Params) []complex128 {
 	b.Helper()
 	l, err := core.NewLink(p, wifi.CanonicalCompensation)
 	if err != nil {

@@ -113,10 +113,14 @@ func (r *Receiver) account() {
 }
 
 // Drain returns the events produced since the last call, tagged with
-// the receiver's stream ID.
+// the receiver's stream ID. The returned slice is the receiver's
+// internal queue and is reused: it stays valid only until the next
+// PushIQ/PushPhases/Flush on this receiver. Consumers that buffer
+// events across pushes must copy the elements out (Frame pointers
+// remain valid indefinitely).
 func (r *Receiver) Drain() []Event {
 	out := r.pending
-	r.pending = nil
+	r.pending = r.pending[:0]
 	return out
 }
 
