@@ -1,0 +1,160 @@
+package symbee
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"symbee/internal/reliable"
+)
+
+// Every exported sentinel must match, via errors.Is, an error produced
+// by a genuine code path of the layer it belongs to.
+func TestPublicSentinelsEndToEnd(t *testing.T) {
+	link, err := NewLink(Params20(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ErrNoPreamble: a capture with no SymBee content.
+	if _, err := link.ReceiveFrame(make([]complex128, 20000)); !errors.Is(err, ErrNoPreamble) {
+		t.Fatalf("empty capture: %v, want ErrNoPreamble", err)
+	}
+
+	// ErrCRC: corrupt one codeword byte of a valid frame payload.
+	payload, err := EncodeFrame(&Frame{Seq: 1, Data: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[len(payload)-1] ^= Bit0Byte ^ Bit1Byte // flip the last bit's codeword
+	sig, err := link.PayloadToSignal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := link.ReceiveFrame(sig); !errors.Is(err, ErrCRC) {
+		t.Fatalf("corrupted frame: %v, want ErrCRC", err)
+	}
+
+	// ErrBadLength: data that cannot fit one frame.
+	if _, err := EncodeFrame(&Frame{Data: make([]byte, MaxDataBytes+1)}); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("oversize frame: %v, want ErrBadLength", err)
+	}
+
+	// ErrWindowFull / ErrTimeout surface from the reliability layer.
+	s, err := reliable.NewSession(lossyTransport{}, reliable.Config{
+		Window: 1, MaxRetries: 1, EscalateAfter: -1, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Send(context.Background(), []byte("never arrives"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("dead transport: %v, want ErrTimeout", err)
+	}
+	if !errors.Is(reliable.ErrWindowFull, ErrWindowFull) {
+		t.Fatal("public ErrWindowFull is not the reliability layer's sentinel")
+	}
+}
+
+// lossyTransport loses every frame.
+type lossyTransport struct{}
+
+func (lossyTransport) Send(f *Frame, coded bool) (*reliable.Ack, time.Duration, error) {
+	return nil, time.Millisecond, nil
+}
+
+// The option-based receiver decodes a chunked capture exactly like the
+// batch path.
+func TestNewReceiverOptions(t *testing.T) {
+	link, err := NewLink(Params20(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Frame{Seq: 9, Data: []byte("streamed!!")}
+	sig, err := link.TransmitFrame(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewMetrics()
+	rx, err := NewReceiver(Params20(), WithCompensation(0), WithMetrics(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(sig); off += 4096 {
+		end := off + 4096
+		if end > len(sig) {
+			end = len(sig)
+		}
+		rx.PushIQ(sig[off:end])
+	}
+	rx.Flush()
+	var got *Frame
+	for _, ev := range rx.Drain() {
+		if ev.Kind == EventFrame {
+			got = ev.Frame
+		}
+	}
+	if got == nil || got.Seq != want.Seq || !bytes.Equal(got.Data, want.Data) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	if m.FramesDecoded.Load() != 1 {
+		t.Fatalf("shared metrics missed the frame: %d", m.FramesDecoded.Load())
+	}
+}
+
+// A context-bound pool decodes, then shuts down cleanly on cancel:
+// subsequent Ingest reports rejection and Close stays safe.
+func TestNewPoolContextCancellation(t *testing.T) {
+	link, err := NewLink(Params20(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Frame{Seq: 2, Data: []byte("pooled")}
+	sig, err := link.TransmitFrame(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var frames []*Frame
+	ctx, cancel := context.WithCancel(context.Background())
+	pool, err := NewPool(
+		WithContext(ctx),
+		WithWorkers(2),
+		WithCompensation(0),
+		WithEvents(func(ev Event) {
+			if ev.Kind == EventFrame {
+				mu.Lock()
+				frames = append(frames, ev.Frame)
+				mu.Unlock()
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pool.Ingest(Chunk{Stream: 7, IQ: sig, Flush: true}) {
+		t.Fatal("ingest rejected on an open pool")
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	// Poll with content-free chunks: cancellation propagates
+	// asynchronously, and a chunk that slips in before the close lands
+	// must not decode anything.
+	for pool.Ingest(Chunk{Stream: 8, IQ: make([]complex128, 64)}) {
+		if time.Now().After(deadline) {
+			t.Fatal("pool still accepting chunks after cancel")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	pool.Close() // idempotent with the context-driven close
+	mu.Lock()
+	defer mu.Unlock()
+	if len(frames) != 1 || !bytes.Equal(frames[0].Data, want.Data) {
+		t.Fatalf("decoded %d frames, want the one ingested before cancel", len(frames))
+	}
+}

@@ -11,6 +11,7 @@
 //	symbeebench -run fig12 -packets 200 -seed 7 -csv
 //	symbeebench -stream -stream-out BENCH_stream.json
 //	symbeebench -kernel -kernel-out BENCH_kernel.json -kernel-baseline BENCH_kernel.json
+//	symbeebench -reliable -reliable-out BENCH_reliable.json
 package main
 
 import (
@@ -41,8 +42,20 @@ func main() {
 		kernelOut      = flag.String("kernel-out", "BENCH_kernel.json", "file for the kernel JSON artifact (\"\" = don't write)")
 		kernelSamples  = flag.Int("kernel-samples", 1<<20, "lag-product samples per kernel pass")
 		kernelBaseline = flag.String("kernel-baseline", "", "baseline BENCH_kernel.json to gate against (fail on >20% speedup regression)")
+
+		reliableBench = flag.Bool("reliable", false, "measure the ARQ reliability layer (soak acceptance, overhead, loss sweep)")
+		reliableOut   = flag.String("reliable-out", "BENCH_reliable.json", "file for the reliability JSON artifact (\"\" = don't write)")
+		reliableRuns  = flag.Int("reliable-runs", 100, "seeded soak runs per receive path")
+		reliableMsg   = flag.Int("reliable-msg", 4096, "message size in bytes for every reliability measurement")
 	)
 	flag.Parse()
+	if *reliableBench {
+		if err := runReliableBench(*seed, *reliableRuns, *reliableMsg, *reliableOut); err != nil {
+			fmt.Fprintln(os.Stderr, "symbeebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *kernelBench {
 		if err := runKernelBench(*seed, *kernelSamples, *kernelOut, *kernelBaseline); err != nil {
 			fmt.Fprintln(os.Stderr, "symbeebench:", err)

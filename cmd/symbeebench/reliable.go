@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"symbee/internal/channel"
+	"symbee/internal/reliable"
+	"symbee/internal/stream"
+)
+
+// reliableRun is one transfer's result in the JSON artifact.
+type reliableRun struct {
+	Loss        float64 `json:"loss"`
+	Delivered   int     `json:"delivered"`
+	Runs        int     `json:"runs"`
+	GoodputBps  float64 `json:"goodput_bps"` // mean over delivered runs
+	Retransmits int     `json:"retransmits"` // totals over all runs
+	Timeouts    int     `json:"timeouts"`
+	Escalations int     `json:"escalations"`
+	AirtimeSec  float64 `json:"airtime_s"`
+}
+
+// reliableArtifact is the schema of BENCH_reliable.json.
+type reliableArtifact struct {
+	Benchmark    string              `json:"benchmark"`
+	MessageBytes int                 `json:"message_bytes"`
+	Profile      channel.FaultConfig `json:"soak_profile"`
+
+	// Acceptance: every seeded run under the soak profile must deliver
+	// the message intact on both receive paths.
+	SoakRuns        int  `json:"soak_runs"`
+	BatchDelivered  int  `json:"batch_delivered"`
+	StreamDelivered int  `json:"stream_delivered"`
+	SoakOK          bool `json:"soak_ok"`
+
+	// Overhead: forward airtime vs the fire-and-forget baseline on a
+	// clean channel (acceptance bound: ≤5%).
+	ARQAirtimeSec   float64 `json:"arq_airtime_s"`
+	PlainAirtimeSec float64 `json:"plain_airtime_s"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	OverheadOK      bool    `json:"overhead_ok"`
+
+	// Goodput vs i.i.d. loss rate (batch path).
+	LossSweep []reliableRun `json:"loss_sweep"`
+}
+
+// reliableTransfer runs one ARQ transfer of msg over the given fault
+// profile and reports whether it arrived intact.
+func reliableTransfer(msg []byte, faults channel.FaultConfig, streaming bool) (*reliable.Report, bool, error) {
+	m := stream.NewMetrics()
+	link, err := reliable.NewSimLink(reliable.SimConfig{Faults: faults, Stream: streaming, Metrics: m})
+	if err != nil {
+		return nil, false, err
+	}
+	defer link.Close()
+	s, err := reliable.NewSession(link, reliable.Config{Seed: faults.Seed, Metrics: m})
+	if err != nil {
+		return nil, false, err
+	}
+	rep, err := s.Send(context.Background(), msg)
+	if err != nil {
+		return rep, false, nil // exhausted retries counts as undelivered, not a bench failure
+	}
+	msgs := link.Messages()
+	ok := len(msgs) == 1 && bytes.Equal(msgs[0], msg)
+	return rep, ok, nil
+}
+
+func benchMessage(seed int64, n int) []byte {
+	msg := make([]byte, n)
+	for i := range msg {
+		msg[i] = byte(int64(i)*31 + seed*17 + 5)
+	}
+	return msg
+}
+
+// runReliableBench measures the reliability layer — the 100-run soak
+// acceptance on both receive paths, the clean-channel airtime overhead,
+// and goodput across an i.i.d. loss sweep — and writes BENCH_reliable.json.
+func runReliableBench(seed int64, runs, msgLen int, outPath string) error {
+	art := reliableArtifact{
+		Benchmark:    "reliable-arq",
+		MessageBytes: msgLen,
+		Profile:      reliable.ProfileSoak(0),
+		SoakRuns:     runs,
+	}
+
+	fmt.Printf("reliable ARQ bench: %d-byte message, %d soak runs per path\n", msgLen, runs)
+	start := time.Now()
+	for _, path := range []struct {
+		name      string
+		streaming bool
+		delivered *int
+	}{
+		{"batch", false, &art.BatchDelivered},
+		{"stream", true, &art.StreamDelivered},
+	} {
+		for i := 0; i < runs; i++ {
+			s := seed + int64(i) - 1 // seeds 0..runs-1 for the default -seed 1
+			_, ok, err := reliableTransfer(benchMessage(s, msgLen), reliable.ProfileSoak(s), path.streaming)
+			if err != nil {
+				return err
+			}
+			if ok {
+				*path.delivered++
+			}
+		}
+		fmt.Printf("  soak %-6s %d/%d delivered\n", path.name, *path.delivered, runs)
+	}
+	art.SoakOK = art.BatchDelivered == runs && art.StreamDelivered == runs
+
+	rep, ok, err := reliableTransfer(benchMessage(1, msgLen), channel.FaultConfig{}, false)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("clean-channel transfer failed")
+	}
+	art.ARQAirtimeSec = rep.Airtime.Seconds()
+	art.PlainAirtimeSec = reliable.PlainAirtime(msgLen).Seconds()
+	art.OverheadPct = (art.ARQAirtimeSec/art.PlainAirtimeSec - 1) * 100
+	art.OverheadOK = art.OverheadPct <= 5
+	fmt.Printf("  overhead: ARQ %.2f ms vs plain %.2f ms forward airtime (%+.2f%%)\n",
+		art.ARQAirtimeSec*1e3, art.PlainAirtimeSec*1e3, art.OverheadPct)
+
+	const sweepSeeds = 3
+	for _, loss := range []float64{0, 0.05, 0.10, 0.20, 0.30} {
+		row := reliableRun{Loss: loss, Runs: sweepSeeds}
+		var goodput float64
+		for i := int64(0); i < sweepSeeds; i++ {
+			faults := channel.FaultConfig{Seed: seed + i, FrameLoss: loss, AckLoss: loss / 2}
+			rep, ok, err := reliableTransfer(benchMessage(seed+i, msgLen), faults, false)
+			if err != nil {
+				return err
+			}
+			if ok {
+				row.Delivered++
+				goodput += rep.GoodputBps()
+			}
+			if rep != nil {
+				row.Retransmits += rep.Retransmits
+				row.Timeouts += rep.Timeouts
+				row.Escalations += rep.Escalations
+				row.AirtimeSec += rep.Airtime.Seconds()
+			}
+		}
+		if row.Delivered > 0 {
+			row.GoodputBps = goodput / float64(row.Delivered)
+		}
+		art.LossSweep = append(art.LossSweep, row)
+		fmt.Printf("  loss %4.0f%%: %d/%d delivered, goodput %7.0f bps, %d retransmits, %d timeouts\n",
+			loss*100, row.Delivered, row.Runs, row.GoodputBps, row.Retransmits, row.Timeouts)
+	}
+	fmt.Printf("  [%v] soak_ok=%v overhead_ok=%v\n", time.Since(start).Round(time.Second), art.SoakOK, art.OverheadOK)
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(art, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", outPath)
+	}
+	if !art.SoakOK || !art.OverheadOK {
+		return fmt.Errorf("acceptance failed: soak %d+%d/%d, overhead %.2f%%",
+			art.BatchDelivered, art.StreamDelivered, runs, art.OverheadPct)
+	}
+	return nil
+}

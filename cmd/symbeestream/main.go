@@ -16,6 +16,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"flag"
@@ -23,7 +24,9 @@ import (
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"symbee/internal/core"
@@ -53,7 +56,11 @@ func main() {
 	if *canonical {
 		compensation = wifi.CanonicalCompensation
 	}
-	err := run(replayConfig{
+	// SIGINT/SIGTERM cancel the replay: the pool flushes its open
+	// sessions and the final metrics snapshot is still written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := run(ctx, replayConfig{
 		in: *in, raw: *raw, rate: *rate,
 		streams: *streams, repeat: *repeat, chunk: *chunk,
 		workers: *workers, queue: *queue, drop: *drop,
@@ -131,7 +138,7 @@ func paramsForRate(rate float64) (core.Params, error) {
 	return core.Params{}, fmt.Errorf("sample rate %v unsupported (want 20e6 or 40e6)", rate)
 }
 
-func run(cfg replayConfig) error {
+func run(ctx context.Context, cfg replayConfig) error {
 	tr, err := loadInput(cfg)
 	if err != nil {
 		return err
@@ -148,7 +155,7 @@ func run(cfg replayConfig) error {
 	}
 
 	var mu sync.Mutex
-	pool, err := stream.NewPool(stream.Config{
+	pool, err := stream.NewPoolContext(ctx, stream.Config{
 		Params:       p,
 		Compensation: cfg.compensation,
 		Workers:      cfg.workers,
@@ -193,7 +200,9 @@ func run(cfg replayConfig) error {
 					} else {
 						c.Phases = tr.Phases[off:end]
 					}
-					pool.Ingest(c)
+					if !pool.Ingest(c) && ctx.Err() != nil {
+						return // canceled: the pool is draining
+					}
 					pushed += uint64(end - off)
 					if cfg.sps > 0 {
 						// Pace the replay: sleep off any lead over the
@@ -211,6 +220,9 @@ func run(cfg replayConfig) error {
 	wg.Wait()
 	pool.Close()
 	elapsed := time.Since(start).Seconds()
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "symbeestream: interrupted — flushed open sessions, final metrics follow")
+	}
 
 	s := pool.Metrics().Snapshot()
 	processed := s.SamplesIn + s.PhasesIn

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
@@ -13,13 +12,8 @@ import (
 // codeword produces at the idle listening: 4π/5 (§IV-B).
 const StablePhase = 4 * math.Pi / 5
 
-// Decoding errors.
-var (
-	ErrNoPreamble = errors.New("core: no SymBee preamble captured")
-	ErrBadVersion = errors.New("core: frame version mismatch")
-	ErrChecksum   = errors.New("core: frame checksum mismatch")
-	ErrTruncated  = errors.New("core: phase stream ends before frame does")
-)
+// Decoding errors (ErrNoPreamble, ErrBadVersion, ErrCRC/ErrChecksum,
+// ErrTruncated) are defined in errors.go.
 
 // Decoder turns WiFi idle-listening phase streams back into SymBee bits
 // and frames.

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"symbee/internal/coding"
@@ -34,11 +33,7 @@ const (
 	MaxDataBytesMAC = (zigbee.MaxMSDULen - PreambleBits - HeaderBits - CRCBits) / 8
 )
 
-// Encoding errors.
-var (
-	ErrDataTooLong = errors.New("core: frame data exceeds MaxDataBytes")
-	ErrBadBit      = errors.New("core: bit value must be 0 or 1")
-)
+// Encoding errors (ErrDataTooLong, ErrBadBit) are defined in errors.go.
 
 // Frame is one SymBee message.
 type Frame struct {
@@ -122,10 +117,11 @@ func EncodeFrame(f *Frame) ([]byte, error) {
 	return EncodeBits(bits)
 }
 
-// parseFrameBits reconstructs a Frame from decoded bits (preamble
+// ParseFrameBits reconstructs a Frame from decoded bits (preamble
 // excluded). It is the inverse of FrameBits and is shared by the WiFi
-// phase decoder and the ZigBee broadcast receiver.
-func parseFrameBits(bits []byte) (*Frame, error) {
+// phase decoder, the ZigBee broadcast receiver and the reliability
+// layer's Hamming-coded frame path (internal/reliable).
+func ParseFrameBits(bits []byte) (*Frame, error) {
 	if len(bits) < HeaderBits+CRCBits {
 		return nil, fmt.Errorf("%w: %d bits", ErrTruncated, len(bits))
 	}
@@ -188,5 +184,5 @@ func DecodeBroadcastPayload(payload []byte) (*Frame, error) {
 		}
 		bits = append(bits, bit)
 	}
-	return parseFrameBits(bits)
+	return ParseFrameBits(bits)
 }

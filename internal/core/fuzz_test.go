@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// fuzzPhases maps fuzz bytes onto a bounded phase stream: one phase per
+// byte, spanning [-π, π] — the decoder's whole input domain.
+func fuzzPhases(data []byte) []float64 {
+	phases := make([]float64, len(data))
+	for i, b := range data {
+		phases[i] = (float64(b)/255*2 - 1) * math.Pi
+	}
+	return phases
+}
+
+// quantize is the inverse direction for seeding the corpus with real
+// captures.
+func quantize(phases []float64) []byte {
+	out := make([]byte, len(phases))
+	for i, p := range phases {
+		out[i] = byte((p/math.Pi + 1) / 2 * 255)
+	}
+	return out
+}
+
+// FuzzDecodeFrame drives arbitrary phase streams through the batch
+// decoder and, independently, through a chunked FrameMachine. The
+// decoder must never panic, any frame it accepts must re-encode, and
+// the machine must reach the same verdict regardless of chunking.
+func FuzzDecodeFrame(f *testing.F) {
+	link, err := NewLink(Params20(), 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sig, err := link.TransmitFrame(&Frame{Seq: 3, Flags: FlagMore, Data: []byte("fuzz seed!")})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(quantize(link.Phases(sig)))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x00, 0xFF}, 2000)) // alternating extremes
+	f.Add(bytes.Repeat([]byte{0xE6}, 8000))       // constant near +4π/5
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		phases := fuzzPhases(data)
+		d, err := NewDecoder(Params20(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, decErr := d.DecodeFrame(phases)
+		if decErr == nil {
+			if _, err := EncodeFrame(frame); err != nil {
+				t.Fatalf("decoded frame does not re-encode: %v", err)
+			}
+		}
+
+		// Chunk-size invariance: the same stream fed in uneven pieces
+		// must produce the same first frame (or none).
+		m := d.NewFrameMachine()
+		for off := 0; off < len(phases); {
+			end := off + 1000 + off%777
+			if end > len(phases) {
+				end = len(phases)
+			}
+			m.PushChunk(phases[off:end])
+			off = end
+		}
+		m.Flush()
+		var streamed *Frame
+		for _, ev := range m.Events() {
+			if ev.Kind == EventFrame && streamed == nil {
+				streamed = ev.Frame
+			}
+		}
+		switch {
+		case decErr == nil && streamed == nil:
+			t.Fatalf("batch decoded seq=%d but chunked machine found nothing", frame.Seq)
+		case decErr == nil && streamed != nil:
+			if streamed.Seq != frame.Seq || streamed.Flags != frame.Flags ||
+				!bytes.Equal(streamed.Data, frame.Data) {
+				t.Fatalf("chunked %+v != batch %+v", streamed, frame)
+			}
+		}
+	})
+}
+
+// FuzzReassemblerAdd feeds an arbitrary frame stream into a
+// Reassembler: it must never panic and never emit more bytes than it
+// was fed. The same input, fragmented legitimately, must round-trip.
+func FuzzReassemblerAdd(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, FlagMore, 2, 'h', 'i', 1, 0, 1, '!'})
+	f.Add(bytes.Repeat([]byte{7}, 300))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<15 {
+			return
+		}
+		// Arbitrary frame stream: [seq flags dataLen data...]*
+		var r Reassembler
+		fed := 0
+		for i := 0; i+3 <= len(data); {
+			seq, flags := data[i], data[i+1]
+			n := int(data[i+2]) % (MaxDataBytes + 1)
+			i += 3
+			if i+n > len(data) {
+				n = len(data) - i
+			}
+			frame := &Frame{Seq: seq, Flags: flags & FlagMore, Data: data[i : i+n]}
+			i += n
+			fed += n
+			msg, done, _ := r.Add(frame)
+			if done && len(msg) > fed {
+				t.Fatalf("reassembler emitted %d bytes from %d fed", len(msg), fed)
+			}
+		}
+
+		// Conservation's other half: a legitimate fragmentation of the
+		// same bytes reassembles exactly.
+		if len(data) == 0 {
+			return
+		}
+		frames, err := NewMessenger(nil).Fragment(data)
+		if err != nil {
+			t.Fatalf("Fragment: %v", err)
+		}
+		var fresh Reassembler
+		for i, fr := range frames {
+			msg, done, err := fresh.Add(fr)
+			if err != nil {
+				t.Fatalf("fragment %d: %v", i, err)
+			}
+			if last := i == len(frames)-1; done != last {
+				t.Fatalf("fragment %d: done=%v", i, done)
+			}
+			if done && !bytes.Equal(msg, data) {
+				t.Fatal("round trip lost bytes")
+			}
+		}
+	})
+}

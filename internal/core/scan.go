@@ -334,7 +334,7 @@ func (d *Decoder) decodeFrameWin(win phaseWindow, anchor int, buf []byte) (*Fram
 	if err != nil {
 		return nil, err
 	}
-	return parseFrameBits(bits)
+	return ParseFrameBits(bits)
 }
 
 // decodeFrameWinWithRetry attempts decodeFrameWin at anchor and, on

@@ -1,0 +1,72 @@
+package reliable
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts time for the ARQ session: the soak tests and the
+// bench run thousands of simulated seconds of airtime and timer waits
+// in milliseconds of wall time on a VirtualClock, while a live pacing
+// run uses a WallClock. Now is monotone elapsed time since the clock
+// was created.
+type Clock interface {
+	Now() time.Duration
+	// Sleep waits d (or returns early with ctx's error when the context
+	// is canceled first).
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// VirtualClock is discrete-event time: Sleep advances it instantly.
+// It is single-goroutine, like the Session that drives it.
+type VirtualClock struct {
+	now time.Duration
+}
+
+// NewVirtualClock returns a clock at zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now returns the current virtual time.
+func (c *VirtualClock) Now() time.Duration { return c.now }
+
+// Advance moves virtual time forward by d.
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// Sleep advances virtual time by d, honoring context cancellation.
+func (c *VirtualClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Advance(d)
+	return nil
+}
+
+// WallClock is real time.
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a clock anchored at the current instant.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now returns the elapsed real time since the clock was created.
+func (c *WallClock) Now() time.Duration { return time.Since(c.start) }
+
+// Sleep blocks for d or until ctx is canceled.
+func (c *WallClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,231 @@
+package reliable
+
+import (
+	"fmt"
+	"time"
+
+	"symbee/internal/channel"
+	"symbee/internal/core"
+	"symbee/internal/stream"
+	"symbee/internal/zigbee"
+)
+
+// SimConfig parameterizes a SimLink.
+type SimConfig struct {
+	// Params is the receiver parameter set; the zero value means
+	// Params20.
+	Params core.Params
+	// Faults is the channel fault profile (see ProfileSoak/ProfileHarsh
+	// for ready-made ones; the zero value is a clean channel).
+	Faults channel.FaultConfig
+	// Stream selects the streaming receive path (internal/stream
+	// FrameMachine sessions) instead of the batch decoder.
+	Stream bool
+	// Metrics optionally shares a registry; nil allocates a private one.
+	Metrics *stream.Metrics
+}
+
+// SimLink is a reliable.Transport that runs every frame through the
+// real SymBee PHY — modulator, fault-injected channel, WiFi
+// phase-extraction front end and either the batch decoder or the
+// streaming receiver — and the ARQ receive side. It exists so the
+// protocol's retry, escalation and duplicate paths are exercised
+// against genuine decode failures rather than stubbed ones.
+type SimLink struct {
+	link    *core.Link
+	dec     *core.Decoder
+	inj     *channel.FaultInjector
+	arq     *Receiver
+	srx     *stream.Receiver
+	pad     []float64
+	metrics *stream.Metrics
+}
+
+// NewSimLink builds the simulated link.
+func NewSimLink(cfg SimConfig) (*SimLink, error) {
+	p := cfg.Params
+	if p.BitPeriod == 0 {
+		p = core.Params20()
+	}
+	link, err := core.NewLink(p, 0)
+	if err != nil {
+		return nil, fmt.Errorf("reliable: %w", err)
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = stream.NewMetrics()
+	}
+	l := &SimLink{
+		link:    link,
+		dec:     link.Decoder(),
+		inj:     channel.NewFaultInjector(cfg.Faults),
+		arq:     NewReceiver(m),
+		metrics: m,
+	}
+	if cfg.Stream {
+		l.srx = stream.NewReceiverFromDecoder(l.dec, m)
+		// The FrameMachine defers its decode until a max-size frame
+		// could have ended; zero padding after each capture opens that
+		// gate without risking a false lock (zero phases fold to zero,
+		// far below the capture threshold).
+		need := (1+core.PreambleBits+maxFrameBits())*p.BitPeriod + p.StableLen + anchorSlack*p.BitPeriod
+		l.pad = make([]float64, need)
+	}
+	return l, nil
+}
+
+// maxFrameBits mirrors the FrameMachine's decode-gate bound: the
+// largest on-air frame body in SymBee bits.
+func maxFrameBits() int { return core.HeaderBits + 8*core.MaxDataBytes + core.CRCBits }
+
+// anchorSlack bounds, in bit periods, how deep into a capture the
+// preamble anchor can sit (ZigBee SHR+PHR plus front-end lag).
+const anchorSlack = 12
+
+// Metrics returns the link's registry.
+func (l *SimLink) Metrics() *stream.Metrics { return l.metrics }
+
+// Receiver returns the ARQ receive side (for inspecting expectations
+// and duplicate counts in tests).
+func (l *SimLink) Receiver() *Receiver { return l.arq }
+
+// Messages drains the fully reassembled messages delivered so far.
+func (l *SimLink) Messages() [][]byte { return l.arq.Messages() }
+
+// FaultStats reports the injector's lost/jammed/drifted frame counts.
+func (l *SimLink) FaultStats() (lost, jammed, drifted int) { return l.inj.Stats() }
+
+// Send implements Transport: encode (plain or Hamming-coded), modulate,
+// pass through the fault injector, receive, deliver to the ARQ side and
+// return its ack — nil when the frame or the ack was lost.
+func (l *SimLink) Send(f *core.Frame, coded bool) (*Ack, time.Duration, error) {
+	var payload []byte
+	var err error
+	if coded {
+		payload, err = EncodeCodedFrame(f)
+	} else {
+		payload, err = core.EncodeFrame(f)
+	}
+	airtime := FrameAirtime(len(f.Data), coded)
+	if err != nil {
+		return nil, 0, err
+	}
+	sig, err := l.link.PayloadToSignal(payload)
+	if err != nil {
+		return nil, airtime, err
+	}
+	capture, ok := l.inj.Apply(sig)
+	if !ok {
+		l.metrics.FramesLost.Add(1)
+		return nil, airtime, nil
+	}
+	frame := l.receive(capture)
+	if frame == nil {
+		l.metrics.FramesLost.Add(1)
+		return nil, airtime, nil
+	}
+	ack, _ := l.arq.Deliver(frame)
+	if l.inj.DropAck() {
+		l.metrics.AcksLost.Add(1)
+		return nil, airtime, nil
+	}
+	return &ack, airtime, nil
+}
+
+// receive runs the capture through the configured receive path and
+// trial-decodes: plain first, then synchronized Hamming-coded. The
+// receiver never learns the sender's mode — a coded frame fails the
+// plain version check immediately (its first coded nibble parses as
+// version 4), which is what makes negotiation-free escalation work.
+func (l *SimLink) receive(capture []complex128) *core.Frame {
+	phases := l.link.Phases(capture)
+	if l.srx == nil {
+		if f, err := l.dec.DecodeFrame(phases); err == nil {
+			return f
+		}
+		f, _ := DecodeCodedPhases(l.dec, phases)
+		return f
+	}
+	l.srx.PushPhases(phases)
+	if n := len(l.pad) - len(phases); n > 0 {
+		l.srx.PushPhases(l.pad[:n])
+	}
+	var frame *core.Frame
+	decodeErr := false
+	for _, ev := range l.srx.Drain() {
+		switch ev.Kind {
+		case core.EventFrame:
+			frame = ev.Frame
+		case core.EventDecodeError:
+			decodeErr = true
+		}
+	}
+	if frame == nil && decodeErr {
+		frame, _ = DecodeCodedPhases(l.dec, phases)
+	}
+	return frame
+}
+
+// Close flushes the streaming receive path, if any.
+func (l *SimLink) Close() {
+	if l.srx != nil {
+		l.srx.Flush()
+		l.srx.Drain()
+	}
+}
+
+// FrameAirtime is the forward ZigBee airtime of one SymBee frame
+// carrying dataBytes of application data, in the given coding mode.
+// Both the harness and the overhead baseline use it, so the ≤5%
+// comparison is apples to apples.
+func FrameAirtime(dataBytes int, coded bool) time.Duration {
+	bits := core.HeaderBits + 8*dataBytes + core.CRCBits
+	if coded {
+		bits = codedLen(bits)
+	}
+	return time.Duration(zigbee.Airtime(core.PreambleBits+bits) * float64(time.Second))
+}
+
+// PlainAirtime is the total forward airtime a plain fire-and-forget
+// Messenger spends on a msgLen-byte message: the baseline the ARQ
+// overhead criterion is measured against.
+func PlainAirtime(msgLen int) time.Duration {
+	var at time.Duration
+	for msgLen > 0 {
+		n := msgLen
+		if n > core.MaxDataBytes {
+			n = core.MaxDataBytes
+		}
+		at += FrameAirtime(n, false)
+		msgLen -= n
+	}
+	return at
+}
+
+// ProfileSoak is the acceptance fault profile: 10% i.i.d. frame loss,
+// a periodic strong-interference burst window, and 5% ack loss.
+func ProfileSoak(seed int64) channel.FaultConfig {
+	return channel.FaultConfig{
+		Seed:       seed,
+		FrameLoss:  0.10,
+		BurstEvery: 64,
+		BurstLen:   6,
+		BurstSNRdB: -18,
+		AckLoss:    0.05,
+	}
+}
+
+// ProfileHarsh piles CFO drift ramps and heavier loss on top of the
+// soak profile — the regime that forces escalation.
+func ProfileHarsh(seed int64) channel.FaultConfig {
+	return channel.FaultConfig{
+		Seed:       seed,
+		FrameLoss:  0.15,
+		BurstEvery: 48,
+		BurstLen:   8,
+		BurstSNRdB: -20,
+		DriftEvery: 16,
+		DriftRate:  4e-7,
+		AckLoss:    0.10,
+	}
+}

@@ -1,0 +1,476 @@
+package reliable
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"symbee/internal/core"
+	"symbee/internal/stream"
+)
+
+// Sentinel errors of the reliability layer. The root package re-exports
+// them; match with errors.Is.
+var (
+	// ErrWindowFull reports an offer to a sliding window that already
+	// holds Window in-flight frames.
+	ErrWindowFull = errors.New("reliable: send window full")
+	// ErrTimeout reports that the retransmission budget for one frame
+	// was exhausted without an acknowledgment.
+	ErrTimeout = errors.New("reliable: retransmission budget exhausted")
+)
+
+// Transport carries one data frame to the far end and returns the
+// acknowledgment observed on the reverse channel — nil when the frame
+// or its ack was lost — together with the forward (ZigBee) airtime the
+// transmission occupied. coded selects the Hamming(7,4) on-air
+// encoding. SimLink is the simulated implementation.
+type Transport interface {
+	Send(f *core.Frame, coded bool) (*Ack, time.Duration, error)
+}
+
+// Config parameterizes a Session. The zero value selects the defaults;
+// set a field negative to disable it where noted.
+type Config struct {
+	// Window is the maximum number of in-flight frames (default 8).
+	Window int
+	// InitialRTO is the retransmission timeout after a silent flight
+	// (default 20ms — a window of max-size frames is ~13ms of airtime).
+	InitialRTO time.Duration
+	// MaxRTO caps the exponential backoff (default 500ms).
+	MaxRTO time.Duration
+	// Backoff is the RTO multiplier per consecutive silent flight
+	// (default 2).
+	Backoff float64
+	// Jitter spreads each timeout uniformly over ±Jitter·RTO so
+	// colliding senders desynchronize (default 0.2).
+	Jitter float64
+	// MaxRetries is the number of consecutive no-progress flights
+	// tolerated for one window base before the send fails with
+	// ErrTimeout (default 16).
+	MaxRetries int
+	// EscalateAfter is the number of consecutive no-progress flights
+	// that triggers Hamming-coded mode (default 3; negative disables
+	// escalation).
+	EscalateAfter int
+	// DeescalateAfter is the number of consecutive clean (progressing)
+	// flights in coded mode that returns the session to plain frames
+	// (default 4; negative keeps coded mode sticky).
+	DeescalateAfter int
+	// Clock drives timers; nil means a fresh VirtualClock (tests and
+	// simulation). Use NewWallClock for live pacing.
+	Clock Clock
+	// Seed feeds the jitter source, making timer schedules reproducible.
+	Seed int64
+	// Metrics optionally shares a stream registry; the session
+	// increments the ARQ counters (Retransmits, Timeouts, Escalations,
+	// Deescalations).
+	Metrics *stream.Metrics
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 8
+	}
+	if c.InitialRTO == 0 {
+		c.InitialRTO = 20 * time.Millisecond
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 500 * time.Millisecond
+	}
+	if c.Backoff == 0 {
+		c.Backoff = 2
+	}
+	if c.Jitter == 0 {
+		c.Jitter = 0.2
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 16
+	}
+	if c.EscalateAfter == 0 {
+		c.EscalateAfter = 3
+	}
+	if c.DeescalateAfter == 0 {
+		c.DeescalateAfter = 4
+	}
+	if c.Clock == nil {
+		c.Clock = NewVirtualClock()
+	}
+	return c
+}
+
+// Report summarizes one Send.
+type Report struct {
+	// Bytes is the message length delivered.
+	Bytes int
+	// FramesSent counts every frame transmission, retransmits included.
+	FramesSent int
+	// Retransmits counts transmissions after the first per frame.
+	Retransmits int
+	// Timeouts counts silent flights that waited out the retransmission
+	// timer.
+	Timeouts int
+	// Escalations and Deescalations count coding-mode switches.
+	Escalations   int
+	Deescalations int
+	// Airtime is the total forward (ZigBee) airtime spent.
+	Airtime time.Duration
+	// Elapsed is the transfer duration on the session clock, timer
+	// waits included.
+	Elapsed time.Duration
+	// Coded reports whether the session ended in Hamming-coded mode.
+	Coded bool
+}
+
+// GoodputBps is the delivered application rate in bits per second over
+// the whole transfer, timer waits included.
+func (r *Report) GoodputBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes*8) / r.Elapsed.Seconds()
+}
+
+// segment is one fragment in flight or awaiting its first transmission.
+type segment struct {
+	frame    *core.Frame
+	attempts int
+}
+
+// window is the go-back-N flight: segs[0] is the base (oldest unacked).
+type window struct {
+	segs []*segment
+	max  int
+}
+
+func (w *window) offer(s *segment) error {
+	if len(w.segs) >= w.max {
+		return ErrWindowFull
+	}
+	w.segs = append(w.segs, s)
+	return nil
+}
+
+// ack releases every segment before next (cumulative), returning how
+// many segments and data bytes were released. Acks that do not move the
+// base — duplicates, or stale NextSeq — release nothing.
+func (w *window) ack(next byte) (released, bytes int) {
+	if len(w.segs) == 0 {
+		return 0, 0
+	}
+	n := int(next - w.segs[0].frame.Seq) // byte arithmetic handles wrap
+	if n <= 0 || n > len(w.segs) {
+		return 0, 0
+	}
+	for _, s := range w.segs[:n] {
+		bytes += len(s.frame.Data)
+	}
+	w.segs = w.segs[n:]
+	return n, bytes
+}
+
+func (w *window) clear() { w.segs = nil }
+
+// Session is the ARQ send side. It is single-goroutine: one Send at a
+// time, driven synchronously against its Transport and Clock.
+type Session struct {
+	cfg     Config
+	tx      Transport
+	clock   Clock
+	rng     *rand.Rand
+	m       *core.Messenger
+	metrics *stream.Metrics
+	coded   bool
+}
+
+// NewSession returns a session over the transport.
+func NewSession(tx Transport, cfg Config) (*Session, error) {
+	if tx == nil {
+		return nil, fmt.Errorf("reliable: nil transport")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Window < 1 {
+		return nil, fmt.Errorf("reliable: %w: window %d", core.ErrBadLength, cfg.Window)
+	}
+	return &Session{
+		cfg:     cfg,
+		tx:      tx,
+		clock:   cfg.Clock,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		m:       core.NewMessenger(nil),
+		metrics: cfg.Metrics,
+	}, nil
+}
+
+// Coded reports whether the session is currently in Hamming-coded mode.
+// The mode is sticky across Send calls until the protocol de-escalates.
+func (s *Session) Coded() bool { return s.coded }
+
+// Send delivers msg reliably: fragment, transmit under the sliding
+// window, retransmit on loss, escalate the coding on persistent loss.
+// It returns a Report alongside any error; on error the report covers
+// the work done up to the failure.
+func (s *Session) Send(ctx context.Context, msg []byte) (rep *Report, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rep = &Report{Bytes: len(msg)}
+	start := s.clock.Now()
+	defer func() {
+		rep.Elapsed = s.clock.Now() - start
+		rep.Coded = s.coded
+	}()
+	if len(msg) == 0 {
+		return rep, core.ErrEmptyMessage
+	}
+
+	acked := 0           // message bytes acknowledged so far
+	baseSeq := s.m.Seq() // sequence of the oldest unacked frame
+	win := &window{max: s.cfg.Window}
+	var pending []*segment
+
+	// cut (re-)fragments the unacknowledged tail of the message at the
+	// current mode's capacity, discarding any in-flight segments. The
+	// go-back-N receiver buffers nothing beyond its expectation, so
+	// re-cutting with sequence continuity (SetSeq to the base) is safe —
+	// but only once resync has confirmed where that expectation stands:
+	// acked must be exact, not a lower bound, or the new byte↔sequence
+	// mapping diverges from frames the receiver already consumed.
+	cut := func() error {
+		win.clear()
+		size := core.MaxDataBytes
+		if s.coded {
+			size = MaxCodedDataBytes
+		}
+		s.m.SetSeq(baseSeq)
+		frames, err := s.m.FragmentSize(msg[acked:], size)
+		if err != nil {
+			return err
+		}
+		pending = make([]*segment, len(frames))
+		for i, f := range frames {
+			pending[i] = &segment{frame: f}
+		}
+		return nil
+	}
+	if err := cut(); err != nil {
+		return rep, err
+	}
+
+	rto := s.cfg.InitialRTO
+	consecutive := 0 // no-progress flights for the current base
+	clean := 0       // progressing flights since entering coded mode
+
+	for acked < len(msg) {
+		if err := ctx.Err(); err != nil {
+			return rep, fmt.Errorf("reliable: send canceled: %w", err)
+		}
+		for len(pending) > 0 {
+			if win.offer(pending[0]) != nil {
+				break // ErrWindowFull: flight is at capacity
+			}
+			pending = pending[1:]
+		}
+		progressed, heard, relBytes, nextBase, err := s.flight(ctx, win, rep)
+		acked += relBytes
+		baseSeq = nextBase
+		if err != nil {
+			return rep, err
+		}
+		switch {
+		case progressed:
+			consecutive = 0
+			rto = s.cfg.InitialRTO
+			if s.coded && s.cfg.DeescalateAfter > 0 {
+				clean++
+				if clean >= s.cfg.DeescalateAfter && acked < len(msg) {
+					s.coded = false
+					clean = 0
+					rep.Deescalations++
+					if s.metrics != nil {
+						s.metrics.Deescalations.Add(1)
+					}
+					b, nb, err := s.resync(ctx, win, rep, baseSeq)
+					acked += b
+					baseSeq = nb
+					if err != nil {
+						return rep, err
+					}
+					if acked < len(msg) {
+						if err := cut(); err != nil {
+							return rep, err
+						}
+					}
+				}
+			}
+		case heard:
+			// Feedback arrived but the base frame did not: a loss
+			// signal — go back and retransmit immediately.
+			consecutive++
+		default:
+			// Silence. Wait out the timer, then back off.
+			consecutive++
+			rep.Timeouts++
+			if s.metrics != nil {
+				s.metrics.Timeouts.Add(1)
+			}
+			if err := s.clock.Sleep(ctx, s.jittered(rto)); err != nil {
+				return rep, fmt.Errorf("reliable: send canceled: %w", err)
+			}
+			rto = time.Duration(float64(rto) * s.cfg.Backoff)
+			if rto > s.cfg.MaxRTO {
+				rto = s.cfg.MaxRTO
+			}
+		}
+		if consecutive > s.cfg.MaxRetries {
+			return rep, fmt.Errorf("reliable: %w: seq %d after %d flights",
+				ErrTimeout, baseSeq, consecutive)
+		}
+		if !s.coded && s.cfg.EscalateAfter > 0 && consecutive >= s.cfg.EscalateAfter {
+			s.coded = true
+			clean = 0
+			consecutive = 0
+			rto = s.cfg.InitialRTO
+			rep.Escalations++
+			if s.metrics != nil {
+				s.metrics.Escalations.Add(1)
+			}
+			b, nb, err := s.resync(ctx, win, rep, baseSeq)
+			acked += b
+			baseSeq = nb
+			if err != nil {
+				return rep, err
+			}
+			if acked < len(msg) {
+				if err := cut(); err != nil {
+					return rep, err
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// flight transmits the window in order, applying acknowledgments as
+// they arrive: released segments shift the iteration back so freshly
+// unacked segments are still sent once per flight. It reports whether
+// the base advanced, whether any feedback was heard at all, the bytes
+// released, and the new base sequence.
+func (s *Session) flight(ctx context.Context, win *window, rep *Report) (progressed, heard bool, relBytes int, nextBase byte, err error) {
+	nextBase = s.baseSeqOf(win)
+	idx := 0
+	for idx < len(win.segs) {
+		if err := ctx.Err(); err != nil {
+			return progressed, heard, relBytes, nextBase, fmt.Errorf("reliable: send canceled: %w", err)
+		}
+		seg := win.segs[idx]
+		if seg.attempts > 0 {
+			rep.Retransmits++
+			if s.metrics != nil {
+				s.metrics.Retransmits.Add(1)
+			}
+		}
+		seg.attempts++
+		rep.FramesSent++
+		ack, airtime, err := s.tx.Send(seg.frame, s.coded)
+		rep.Airtime += airtime
+		if slErr := s.clock.Sleep(ctx, airtime); slErr != nil {
+			return progressed, heard, relBytes, nextBase, fmt.Errorf("reliable: send canceled: %w", slErr)
+		}
+		if err != nil {
+			return progressed, heard, relBytes, nextBase, fmt.Errorf("reliable: transport: %w", err)
+		}
+		if ack != nil {
+			heard = true
+			rel, b := win.ack(ack.NextSeq)
+			if rel > 0 {
+				progressed = true
+				relBytes += b
+				nextBase = ack.NextSeq
+				// The window shifted left under the iteration; a
+				// catch-up ack (previous acks lost) can release past
+				// the cursor, so clamp to the new front.
+				idx -= rel
+				if idx < -1 {
+					idx = -1
+				}
+			}
+		}
+		idx++
+	}
+	return progressed, heard, relBytes, nextBase, nil
+}
+
+// resync learns the receiver's exact cumulative expectation before a
+// coding-mode re-fragmentation. Lost acknowledgments leave the sender's
+// acked count a lower bound: frames past it may already be consumed,
+// and re-cutting from a stale offset at a different frame size would
+// re-map those bytes onto sequence numbers the receiver has moved
+// beyond — corrupting the reassembled message. The probe is an empty
+// frame whose sequence precedes the window base; the receiver can never
+// accept it (its expectation is always at or past the base), so it
+// always answers with a duplicate ack carrying the current expectation,
+// which releases exactly the old-mapping segments the receiver holds.
+// Probes retry on the usual timer discipline in the session's current
+// coding mode.
+func (s *Session) resync(ctx context.Context, win *window, rep *Report, baseSeq byte) (relBytes int, nextBase byte, err error) {
+	nextBase = baseSeq
+	if len(win.segs) == 0 {
+		return 0, nextBase, nil // nothing in flight: acked is already exact
+	}
+	probe := &core.Frame{Seq: baseSeq - 1}
+	rto := s.cfg.InitialRTO
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return relBytes, nextBase, fmt.Errorf("reliable: send canceled: %w", err)
+		}
+		if attempt > s.cfg.MaxRetries {
+			return relBytes, nextBase, fmt.Errorf("reliable: %w: resync probe at seq %d after %d attempts",
+				ErrTimeout, baseSeq, attempt)
+		}
+		rep.FramesSent++
+		ack, airtime, err := s.tx.Send(probe, s.coded)
+		rep.Airtime += airtime
+		if slErr := s.clock.Sleep(ctx, airtime); slErr != nil {
+			return relBytes, nextBase, fmt.Errorf("reliable: send canceled: %w", slErr)
+		}
+		if err != nil {
+			return relBytes, nextBase, fmt.Errorf("reliable: transport: %w", err)
+		}
+		if ack != nil {
+			_, b := win.ack(ack.NextSeq)
+			relBytes += b
+			nextBase = ack.NextSeq
+			return relBytes, nextBase, nil
+		}
+		rep.Timeouts++
+		if s.metrics != nil {
+			s.metrics.Timeouts.Add(1)
+		}
+		if slErr := s.clock.Sleep(ctx, s.jittered(rto)); slErr != nil {
+			return relBytes, nextBase, fmt.Errorf("reliable: send canceled: %w", slErr)
+		}
+		rto = time.Duration(float64(rto) * s.cfg.Backoff)
+		if rto > s.cfg.MaxRTO {
+			rto = s.cfg.MaxRTO
+		}
+	}
+}
+
+func (s *Session) baseSeqOf(win *window) byte {
+	if len(win.segs) > 0 {
+		return win.segs[0].frame.Seq
+	}
+	return s.m.Seq()
+}
+
+// jittered spreads d uniformly over [d·(1−Jitter), d·(1+Jitter)].
+func (s *Session) jittered(d time.Duration) time.Duration {
+	if s.cfg.Jitter <= 0 {
+		return d
+	}
+	f := 1 + s.cfg.Jitter*(2*s.rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}

@@ -1,0 +1,157 @@
+package reliable
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"symbee/internal/stream"
+)
+
+// soakRuns returns how many seeded runs each soak subtest executes.
+// Tier-1 defaults to a fast deterministic subset; CI sets
+// RELIABLE_SOAK_RUNS=100 for the full acceptance sweep (the bench's
+// -reliable mode also replays all 100).
+func soakRuns() int {
+	if s := os.Getenv("RELIABLE_SOAK_RUNS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 10
+}
+
+func soakMessage(seed int64) []byte {
+	msg := make([]byte, 4096)
+	for i := range msg {
+		msg[i] = byte(int64(i)*31 + seed*17 + 5)
+	}
+	return msg
+}
+
+// soakRun drives one 4 KiB transfer over the fault-injected PHY and
+// returns the session report; it fails the test unless the message
+// arrives intact.
+func soakRun(t *testing.T, seed int64, streaming bool) *Report {
+	t.Helper()
+	m := stream.NewMetrics()
+	link, err := NewSimLink(SimConfig{
+		Faults:  ProfileSoak(seed),
+		Stream:  streaming,
+		Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	s, err := NewSession(link, Config{Seed: seed, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := soakMessage(seed)
+	rep, err := s.Send(context.Background(), msg)
+	if err != nil {
+		t.Fatalf("seed %d: %v (report %+v)", seed, err, rep)
+	}
+	msgs := link.Messages()
+	if len(msgs) != 1 || !bytes.Equal(msgs[0], msg) {
+		t.Fatalf("seed %d: message not delivered intact (%d messages)", seed, len(msgs))
+	}
+	return rep
+}
+
+// TestARQSoak is the acceptance soak: under 10% i.i.d. frame loss plus
+// periodic burst interference plus ack loss, every seeded run must
+// deliver the 4 KiB message intact over both receive paths.
+func TestARQSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	runs := soakRuns()
+	for _, path := range []struct {
+		name      string
+		streaming bool
+	}{{"batch", false}, {"stream", true}} {
+		path := path
+		t.Run(path.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < int64(runs); seed++ {
+				seed := seed
+				t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+					t.Parallel()
+					rep := soakRun(t, seed, path.streaming)
+					if rep.Retransmits == 0 {
+						t.Errorf("seed %d: 10%% loss produced zero retransmits — faults not applied?", seed)
+					}
+				})
+			}
+		})
+	}
+}
+
+// With faults disabled the ARQ spends exactly the fire-and-forget
+// airtime: the ≤5% overhead acceptance criterion, met with zero margin,
+// on both receive paths.
+func TestARQOverheadCleanChannel(t *testing.T) {
+	for _, streaming := range []bool{false, true} {
+		link, err := NewSimLink(SimConfig{Stream: streaming})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSession(link, Config{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := soakMessage(7)
+		rep, err := s.Send(context.Background(), msg)
+		if err != nil {
+			t.Fatalf("stream=%v: %v", streaming, err)
+		}
+		if msgs := link.Messages(); len(msgs) != 1 || !bytes.Equal(msgs[0], msg) {
+			t.Fatalf("stream=%v: message not delivered", streaming)
+		}
+		baseline := PlainAirtime(len(msg))
+		if rep.Airtime != baseline {
+			t.Fatalf("stream=%v: airtime %v != baseline %v (overhead criterion)", streaming, rep.Airtime, baseline)
+		}
+		if rep.Retransmits != 0 || rep.Timeouts != 0 {
+			t.Fatalf("stream=%v: clean channel produced %d retransmits %d timeouts",
+				streaming, rep.Retransmits, rep.Timeouts)
+		}
+		link.Close()
+	}
+}
+
+// Under the harsh profile (drift ramps, heavier loss) the transfer must
+// still complete; this is the path that exercises escalation against
+// the real coded decoder.
+func TestARQHarshProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	m := stream.NewMetrics()
+	link, err := NewSimLink(SimConfig{Faults: ProfileHarsh(3), Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	s, err := NewSession(link, Config{Seed: 3, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := soakMessage(3)
+	rep, err := s.Send(context.Background(), msg)
+	if err != nil {
+		t.Fatalf("%v (report %+v)", err, rep)
+	}
+	if msgs := link.Messages(); len(msgs) != 1 || !bytes.Equal(msgs[0], msg) {
+		t.Fatal("message not delivered intact")
+	}
+	lost, jammed, _ := link.FaultStats()
+	if lost == 0 || jammed == 0 {
+		t.Fatalf("harsh profile exercised nothing: lost=%d jammed=%d", lost, jammed)
+	}
+}

@@ -55,7 +55,7 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 // decoded Frame itself (which escapes to the consumer) comes from
 // reused buffers — scanner rings, bit scratch, event queues. The budget
 // is the frame materialization (Frame + Data + two bit→byte scratch
-// slices inside parseFrameBits), with one spare for the retry path.
+// slices inside ParseFrameBits), with one spare for the retry path.
 func TestFrameReplayAllocBudget(t *testing.T) {
 	p := core.Params20()
 	iq := benchCapture(t, p)

@@ -127,6 +127,16 @@ type Metrics struct {
 	StreamsOpened  Counter // distinct streams a worker has seen
 	StreamsFlushed Counter // streams flushed (end-of-stream markers)
 
+	// Reliability (ARQ) stage — incremented by internal/reliable
+	// sessions sharing the registry.
+	Retransmits   Counter // data frames sent again after a loss signal
+	Timeouts      Counter // retransmit timer expiries (silent flights)
+	Escalations   Counter // plain → Hamming-coded mode switches
+	Deescalations Counter // coded → plain mode switches after recovery
+	DupDrops      Counter // duplicate/out-of-order frames dropped at the receiver
+	AcksLost      Counter // acknowledgments lost on the reverse channel
+	FramesLost    Counter // data frames lost or corrupted by the channel
+
 	// Per-stage latency, nanoseconds per chunk.
 	PhaseNanos  *Histogram // IQ→phase front-end stage
 	DecodeNanos *Histogram // FrameMachine stage
@@ -163,6 +173,14 @@ type Snapshot struct {
 	StreamsOpened  uint64 `json:"streams_opened"`
 	StreamsFlushed uint64 `json:"streams_flushed"`
 
+	Retransmits   uint64 `json:"retransmits"`
+	Timeouts      uint64 `json:"timeouts"`
+	Escalations   uint64 `json:"escalations"`
+	Deescalations uint64 `json:"deescalations"`
+	DupDrops      uint64 `json:"dup_drops"`
+	AcksLost      uint64 `json:"acks_lost"`
+	FramesLost    uint64 `json:"frames_lost"`
+
 	PhaseNanos  HistogramSnapshot `json:"phase_ns"`
 	DecodeNanos HistogramSnapshot `json:"decode_ns"`
 	ChunkNanos  HistogramSnapshot `json:"chunk_ns"`
@@ -181,6 +199,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		FramesFailed:   m.FramesFailed.Load(),
 		StreamsOpened:  m.StreamsOpened.Load(),
 		StreamsFlushed: m.StreamsFlushed.Load(),
+		Retransmits:    m.Retransmits.Load(),
+		Timeouts:       m.Timeouts.Load(),
+		Escalations:    m.Escalations.Load(),
+		Deescalations:  m.Deescalations.Load(),
+		DupDrops:       m.DupDrops.Load(),
+		AcksLost:       m.AcksLost.Load(),
+		FramesLost:     m.FramesLost.Load(),
 		PhaseNanos:     m.PhaseNanos.Snapshot(),
 		DecodeNanos:    m.DecodeNanos.Snapshot(),
 		ChunkNanos:     m.ChunkNanos.Snapshot(),

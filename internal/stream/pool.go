@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -67,7 +68,8 @@ type Pool struct {
 	metrics *Metrics
 	wg      sync.WaitGroup
 	closed  bool
-	mu      sync.Mutex // guards closed and the Close transition
+	mu      sync.RWMutex  // guards closed: Ingest holds R, Close holds W
+	done    chan struct{} // closed when the pool has fully shut down
 }
 
 type worker struct {
@@ -92,7 +94,7 @@ func NewPool(cfg Config) (*Pool, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
-	p := &Pool{cfg: cfg, decoder: d, metrics: cfg.Metrics}
+	p := &Pool{cfg: cfg, decoder: d, metrics: cfg.Metrics, done: make(chan struct{})}
 	p.workers = make([]*worker, cfg.Workers)
 	for i := range p.workers {
 		w := &worker{
@@ -103,6 +105,28 @@ func NewPool(cfg Config) (*Pool, error) {
 		p.workers[i] = w
 		p.wg.Add(1)
 		go w.run()
+	}
+	return p, nil
+}
+
+// NewPoolContext is NewPool bound to a context: when ctx is canceled
+// the pool closes itself — open sessions are flushed, final events
+// emitted, workers joined — and subsequent Ingest calls report false.
+// Close remains safe to call (it is idempotent), so deferred cleanup
+// and signal-driven shutdown compose.
+func NewPoolContext(ctx context.Context, cfg Config) (*Pool, error) {
+	p, err := NewPool(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				p.Close()
+			case <-p.done:
+			}
+		}()
 	}
 	return p, nil
 }
@@ -120,12 +144,23 @@ func (p *Pool) shard(stream uint64) *worker {
 
 // Ingest hands a chunk to the owning worker. It reports whether the
 // chunk was accepted: with DropWhenFull it returns false (and counts a
-// drop) when the worker's queue is full; otherwise it blocks until
-// there is room and always returns true. Ingest is safe for concurrent
-// use by multiple producers; chunks of one stream keep their order only
-// when produced by a single goroutine. Ingest must not be called after
-// Close.
+// drop) when the worker's queue is full; after Close (including a
+// context cancellation closing the pool) it returns false without
+// counting a drop; otherwise it blocks until there is room and returns
+// true. Ingest is safe for concurrent use by multiple producers; chunks
+// of one stream keep their order only when produced by a single
+// goroutine.
 func (p *Pool) Ingest(c Chunk) bool {
+	// The read lock pins the pool open across the send: Close takes the
+	// write lock before closing the worker channels, so a send in flight
+	// here can never hit a closed channel. A blocking send cannot
+	// deadlock Close — the workers keep draining until Close's write
+	// lock is granted.
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
 	w := p.shard(c.Stream)
 	if p.cfg.DropWhenFull {
 		select {
@@ -142,11 +177,14 @@ func (p *Pool) Ingest(c Chunk) bool {
 }
 
 // Close flushes every open session (emitting any final events), stops
-// the workers and waits for them to drain. Safe to call once.
+// the workers and waits for them to drain. It is idempotent and safe to
+// call concurrently with Ingest (late chunks are rejected, not lost in
+// a panic).
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		<-p.done // another Close is draining; wait for it
 		return
 	}
 	p.closed = true
@@ -155,6 +193,7 @@ func (p *Pool) Close() {
 		close(w.in)
 	}
 	p.wg.Wait()
+	close(p.done)
 }
 
 func (w *worker) run() {
