@@ -69,7 +69,10 @@ func runKernelBench(seed int64, samples int, outPath, baselinePath string) error
 		}
 	}
 
-	cls := dsp.NewPhaseClassifier(0, core.StablePhase-0.1)
+	cls, err := dsp.NewPhaseClassifier(0, core.StablePhase-0.1)
+	if err != nil {
+		return err
+	}
 	exact := func() float64 {
 		s := 0.0
 		for _, v := range prod {

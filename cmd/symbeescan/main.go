@@ -69,7 +69,7 @@ func scanWiFi(tr *trace.Trace, verbose bool) error {
 	}
 	starts := fe.DetectPackets(tr.IQ, 0.7, 4*fe.Lag())
 	fmt.Printf("WiFi: %d OFDM frame(s) detected\n", len(starts))
-	if verbose && tr.SampleRate == 20e6 {
+	if verbose && tr.SampleRate == 20e6 { //symbee:ignore floatcmp -- configured rate constant, never computed
 		rx, err := wifi.NewReceiver()
 		if err != nil {
 			return err

@@ -19,6 +19,7 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -114,10 +115,10 @@ func readRawIQ(r io.Reader) ([]complex128, error) {
 	buf := make([]byte, 8)
 	for {
 		if _, err := io.ReadFull(br, buf); err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				return iq, nil
 			}
-			if err == io.ErrUnexpectedEOF {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
 				return nil, fmt.Errorf("raw input ends mid-sample (%d bytes over)", len(buf))
 			}
 			return nil, err

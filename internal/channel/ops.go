@@ -66,9 +66,10 @@ type MultipathProfile struct {
 
 // Apply draws random complex tap gains from the profile and convolves x
 // with them, returning a new slice of the same length with unit mean
-// channel power.
+// channel power. A malformed profile (delay/power counts disagree)
+// passes x through unchanged rather than fault a simulation run.
 func (p *MultipathProfile) Apply(x []complex128, rng *rand.Rand) []complex128 {
-	if p == nil || len(p.DelaysSamples) == 0 {
+	if p == nil || len(p.DelaysSamples) == 0 || len(p.DelaysSamples) != len(p.Powers) {
 		return x
 	}
 	var total float64
@@ -84,7 +85,12 @@ func (p *MultipathProfile) Apply(x []complex128, rng *rand.Rand) []complex128 {
 		g := RicianGain(k, rng)
 		gains[i] = g * complex(math.Sqrt(p.Powers[i]/total), 0)
 	}
-	return dsp.DelaySum(x, p.DelaysSamples, gains)
+	y, err := dsp.DelaySum(x, p.DelaysSamples, gains)
+	if err != nil {
+		// Unreachable: gains was built with one entry per delay.
+		return x
+	}
+	return y
 }
 
 // TypicalIndoorMultipath returns a 3-tap indoor profile at the given

@@ -66,26 +66,26 @@ const (
 // Presets returns the paper's six evaluation scenarios in presentation
 // order (Fig. 15), freshly allocated so callers may tweak them.
 func Presets() []Scenario {
-	return []Scenario{
-		preset(Outdoor),
-		preset(Library),
-		preset(Classroom),
-		preset(Dormitory),
-		preset(Office),
-		preset(Mall),
+	out := make([]Scenario, 0, 6)
+	for _, name := range []string{Outdoor, Library, Classroom, Dormitory, Office, Mall} {
+		if s, ok := preset(name); ok {
+			out = append(out, s)
+		}
 	}
+	return out
 }
 
 // ByName returns the preset with the given name.
 func ByName(name string) (Scenario, error) {
-	switch name {
-	case Outdoor, Library, Classroom, Dormitory, Office, Mall, OfficeMidnight:
-		return preset(name), nil
+	if s, ok := preset(name); ok {
+		return s, nil
 	}
 	return Scenario{}, fmt.Errorf("channel: unknown scenario %q", name)
 }
 
-func preset(name string) Scenario {
+// preset materializes one named scenario; ok is false for a name that
+// is not one of the preset constants.
+func preset(name string) (Scenario, bool) {
 	switch name {
 	case Outdoor:
 		// Open field: near-free-space decay, strong LOS, no WiFi around.
@@ -93,7 +93,7 @@ func preset(name string) Scenario {
 			Name:    name,
 			Budget:  LinkBudget{SNR1m: 34, Exponent: 2.0, ShadowSigma: 2, WallLoss: 6},
 			FadingK: 15,
-		}
+		}, true
 	case Classroom:
 		// Large room, campus WiFi mostly idle during lectures.
 		return Scenario{
@@ -104,7 +104,7 @@ func preset(name string) Scenario {
 			},
 			Multipath: true,
 			FadingK:   10,
-		}
+		}, true
 	case Office:
 		// Cubicles and walls; most machines are wired, light WiFi.
 		return Scenario{
@@ -115,7 +115,7 @@ func preset(name string) Scenario {
 			},
 			Multipath: true,
 			FadingK:   9,
-		}
+		}, true
 	case Dormitory:
 		// More private APs and users than the office.
 		return Scenario{
@@ -126,7 +126,7 @@ func preset(name string) Scenario {
 			},
 			Multipath: true,
 			FadingK:   8,
-		}
+		}, true
 	case Library:
 		// Everyone on campus WiFi: heaviest interference of the six.
 		return Scenario{
@@ -137,7 +137,7 @@ func preset(name string) Scenario {
 			},
 			Multipath: true,
 			FadingK:   8,
-		}
+		}, true
 	case Mall:
 		// Shopper blockage (low K, higher shadowing) plus store APs.
 		return Scenario{
@@ -148,14 +148,14 @@ func preset(name string) Scenario {
 			},
 			Multipath: true,
 			FadingK:   6,
-		}
+		}, true
 	case OfficeMidnight:
-		s := preset(Office)
+		s, ok := preset(Office)
 		s.Name = OfficeMidnight
 		s.Interference = InterferenceConfig{}
-		return s
+		return s, ok
 	}
-	panic("channel: unreachable preset " + name)
+	return Scenario{}, false
 }
 
 // MobilityPreset returns the Fig. 23 track-and-field configuration for a

@@ -22,27 +22,22 @@ const (
 )
 
 // HammingEncode maps 4 data bits to a 7-bit codeword. Bits are one byte
-// each, value 0 or 1. It panics on malformed input lengths; bit values
-// are reduced modulo 2.
-func HammingEncode(data []byte) []byte {
-	if len(data) != HammingDataBits {
-		panic(fmt.Sprintf("coding: HammingEncode needs %d bits, got %d", HammingDataBits, len(data)))
-	}
+// each, value 0 or 1; bit values are reduced modulo 2. The fixed-size
+// array signature makes malformed lengths a compile error rather than a
+// runtime fault.
+func HammingEncode(data [HammingDataBits]byte) [HammingCodeBits]byte {
 	d1, d2, d3, d4 := data[0]&1, data[1]&1, data[2]&1, data[3]&1
 	p1 := d1 ^ d2 ^ d4
 	p2 := d1 ^ d3 ^ d4
 	p3 := d2 ^ d3 ^ d4
-	return []byte{p1, p2, d1, p3, d2, d3, d4}
+	return [HammingCodeBits]byte{p1, p2, d1, p3, d2, d3, d4}
 }
 
 // HammingDecode corrects up to one bit error in a 7-bit codeword and
 // returns the 4 data bits along with whether a correction was applied.
 // Two-bit errors are miscorrected, as is inherent to Hamming(7,4).
-func HammingDecode(code []byte) (data []byte, corrected bool) {
-	if len(code) != HammingCodeBits {
-		panic(fmt.Sprintf("coding: HammingDecode needs %d bits, got %d", HammingCodeBits, len(code)))
-	}
-	var c [7]byte
+func HammingDecode(code [HammingCodeBits]byte) (data [HammingDataBits]byte, corrected bool) {
+	var c [HammingCodeBits]byte
 	for i, b := range code {
 		c[i] = b & 1
 	}
@@ -54,7 +49,7 @@ func HammingDecode(code []byte) (data []byte, corrected bool) {
 		c[syndrome-1] ^= 1
 		corrected = true
 	}
-	return []byte{c[2], c[4], c[5], c[6]}, corrected
+	return [HammingDataBits]byte{c[2], c[4], c[5], c[6]}, corrected
 }
 
 // HammingEncodeBits encodes an arbitrary bit string, zero-padding the
@@ -70,7 +65,8 @@ func HammingEncodeBits(bits []byte) []byte {
 				block[j] = 0
 			}
 		}
-		out = append(out, HammingEncode(block[:])...)
+		cw := HammingEncode(block)
+		out = append(out, cw[:]...)
 	}
 	return out
 }
@@ -85,11 +81,13 @@ func HammingDecodeBits(bits []byte) (data []byte, corrections int, err error) {
 	}
 	data = make([]byte, 0, len(bits)/HammingCodeBits*HammingDataBits)
 	for i := 0; i < len(bits); i += HammingCodeBits {
-		block, corrected := HammingDecode(bits[i : i+HammingCodeBits])
+		var cw [HammingCodeBits]byte
+		copy(cw[:], bits[i:i+HammingCodeBits])
+		block, corrected := HammingDecode(cw)
 		if corrected {
 			corrections++
 		}
-		data = append(data, block...)
+		data = append(data, block[:]...)
 	}
 	return data, corrections, nil
 }

@@ -7,18 +7,19 @@ import (
 	"testing/quick"
 )
 
+func dataWord(v int) [HammingDataBits]byte {
+	return [HammingDataBits]byte{byte(v >> 3 & 1), byte(v >> 2 & 1), byte(v >> 1 & 1), byte(v & 1)}
+}
+
 func TestHammingRoundTripAllDataWords(t *testing.T) {
 	for v := 0; v < 16; v++ {
-		data := []byte{byte(v >> 3 & 1), byte(v >> 2 & 1), byte(v >> 1 & 1), byte(v & 1)}
+		data := dataWord(v)
 		code := HammingEncode(data)
-		if len(code) != 7 {
-			t.Fatalf("code length %d", len(code))
-		}
 		got, corrected := HammingDecode(code)
 		if corrected {
 			t.Errorf("data %04b: clean codeword reported a correction", v)
 		}
-		if !bytes.Equal(got, data) {
+		if got != data {
 			t.Errorf("data %04b: decode = %v", v, got)
 		}
 	}
@@ -26,16 +27,16 @@ func TestHammingRoundTripAllDataWords(t *testing.T) {
 
 func TestHammingCorrectsEverySingleBitError(t *testing.T) {
 	for v := 0; v < 16; v++ {
-		data := []byte{byte(v >> 3 & 1), byte(v >> 2 & 1), byte(v >> 1 & 1), byte(v & 1)}
+		data := dataWord(v)
 		code := HammingEncode(data)
 		for pos := 0; pos < 7; pos++ {
-			bad := append([]byte{}, code...)
+			bad := code
 			bad[pos] ^= 1
 			got, corrected := HammingDecode(bad)
 			if !corrected {
 				t.Errorf("data %04b pos %d: correction not reported", v, pos)
 			}
-			if !bytes.Equal(got, data) {
+			if got != data {
 				t.Errorf("data %04b pos %d: decode = %v, want %v", v, pos, got, data)
 			}
 		}
@@ -43,11 +44,9 @@ func TestHammingCorrectsEverySingleBitError(t *testing.T) {
 }
 
 func TestHammingMinimumDistanceIsThree(t *testing.T) {
-	words := make([][]byte, 0, 16)
+	words := make([][HammingCodeBits]byte, 0, 16)
 	for v := 0; v < 16; v++ {
-		words = append(words, HammingEncode([]byte{
-			byte(v >> 3 & 1), byte(v >> 2 & 1), byte(v >> 1 & 1), byte(v & 1),
-		}))
+		words = append(words, HammingEncode(dataWord(v)))
 	}
 	for a := 0; a < 16; a++ {
 		for b := a + 1; b < 16; b++ {

@@ -117,7 +117,12 @@ type DetectedBit struct {
 func (d *Decoder) DecodeUnsync(phases []float64) []DetectedBit {
 	phases = d.prepare(phases)
 	var out []DetectedBit
-	counter := dsp.NewMovingSignCounter(d.p.StableLen)
+	// StableLen is positive for every decoder built through NewDecoder
+	// (Params.Validate), so the window error cannot occur here.
+	counter, err := dsp.NewMovingSignCounter(d.p.StableLen)
+	if err != nil {
+		return nil
+	}
 	need := d.p.StableLen - d.p.Tau
 	i := 0
 	for i < len(phases) {
@@ -160,7 +165,10 @@ func (d *Decoder) CapturePreamble(phases []float64) (int, error) {
 }
 
 func (d *Decoder) capturePreamble(phases []float64) (int, error) {
-	sc := d.newPreambleScanner(0)
+	sc, err := d.newPreambleScanner(0)
+	if err != nil {
+		return 0, err
+	}
 	for _, phi := range phases {
 		if sc.push(phi) {
 			break
@@ -222,8 +230,13 @@ func (d *Decoder) DecodeBits(phases []float64, n int) ([]byte, error) {
 // the same stream positions regardless of chunking, so this is
 // bit-identical to feeding the capture sample by sample.
 func (d *Decoder) DecodeFrame(phases []float64) (*Frame, error) {
-	m := d.newBatchMachine()
-	m.PushChunk(phases)
+	m, err := d.newBatchMachine()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.PushChunk(phases); err != nil {
+		return nil, err
+	}
 	m.Flush()
 	for _, ev := range m.Events() {
 		switch ev.Kind {

@@ -25,6 +25,9 @@ var (
 	ErrBadVersion = errors.New("core: frame version mismatch")
 	// ErrBadBit: a bit value other than 0 or 1 was supplied.
 	ErrBadBit = errors.New("core: bit value must be 0 or 1")
+	// ErrFlushed: data was pushed into a FrameMachine that has already
+	// been flushed; Reset it before reuse.
+	ErrFlushed = errors.New("core: stream already flushed")
 )
 
 // Specific sentinels retained from the original per-file taxonomy. Each

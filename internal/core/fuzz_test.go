@@ -62,7 +62,7 @@ func FuzzDecodeFrame(f *testing.F) {
 
 		// Chunk-size invariance: the same stream fed in uneven pieces
 		// must produce the same first frame (or none).
-		m := d.NewFrameMachine()
+		m := mustMachine(t, d)
 		for off := 0; off < len(phases); {
 			end := off + 1000 + off%777
 			if end > len(phases) {

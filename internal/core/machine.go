@@ -130,19 +130,31 @@ func defaultRetention(p Params) int {
 // NewFrameMachine returns a streaming machine with bounded history
 // retention. The machine applies the decoder's Compensation to every
 // pushed phase, mirroring the batch prepare step.
-func (d *Decoder) NewFrameMachine() *FrameMachine {
-	m := &FrameMachine{d: d, retention: defaultRetention(d.p)}
-	m.scan = d.newPreambleScanner(0)
-	return m
+func (d *Decoder) NewFrameMachine() (*FrameMachine, error) {
+	scan, err := d.newPreambleScanner(0)
+	if err != nil {
+		return nil, err
+	}
+	return &FrameMachine{
+		d:         d,
+		retention: defaultRetention(d.p),
+		scan:      scan,
+		// The frame bit-decode scratch is allocated here, at setup, so
+		// the sustained push path never has to.
+		bitBuf: make([]byte, maxFrameBits),
+	}, nil
 }
 
 // newBatchMachine returns a machine with unbounded history — the
 // configuration under which it reproduces the historical whole-capture
 // decode exactly, including template reads arbitrarily far back.
-func (d *Decoder) newBatchMachine() *FrameMachine {
-	m := d.NewFrameMachine()
+func (d *Decoder) newBatchMachine() (*FrameMachine, error) {
+	m, err := d.NewFrameMachine()
+	if err != nil {
+		return nil, err
+	}
 	m.retention = 0
-	return m
+	return m, nil
 }
 
 // State returns the machine's current stage.
@@ -168,10 +180,13 @@ func (m *FrameMachine) Events() []StreamEvent {
 
 // PushChunk consumes a chunk of phase values (any length, including
 // zero) and advances the machine. The chunk is copied; the caller may
-// reuse the slice.
-func (m *FrameMachine) PushChunk(phases []float64) {
+// reuse the slice. Pushing into a flushed machine reports ErrFlushed
+// (wrapped); Reset first.
+//
+//symbee:hotpath
+func (m *FrameMachine) PushChunk(phases []float64) error {
 	if m.flushed {
-		panic("core: FrameMachine.PushChunk after Flush (use Reset)")
+		return ErrFlushed
 	}
 	if comp := m.d.Compensation; comp != 0 {
 		for _, v := range phases {
@@ -182,6 +197,7 @@ func (m *FrameMachine) PushChunk(phases []float64) {
 	}
 	m.n += len(phases)
 	m.advance()
+	return nil
 }
 
 // Flush marks the end of the stream: any pending decision is forced
@@ -242,9 +258,6 @@ func (m *FrameMachine) advance() {
 		case StateDecoding:
 			if m.n < m.needUpTo && !m.flushed {
 				return
-			}
-			if m.bitBuf == nil {
-				m.bitBuf = make([]byte, maxFrameBits)
 			}
 			frame, usedAnchor, err := m.d.decodeFrameWinWithRetry(m.window(), m.anchor, m.bitBuf)
 			if err != nil {

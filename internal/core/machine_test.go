@@ -9,11 +9,21 @@ import (
 	"symbee/internal/wifi"
 )
 
+// mustMachine builds a streaming machine or fails the test.
+func mustMachine(t testing.TB, d *Decoder) *FrameMachine {
+	t.Helper()
+	m, err := d.NewFrameMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 // pushChunked feeds phases through a fresh streaming machine in chunks
 // of the given size and returns every event.
 func pushChunked(t *testing.T, d *Decoder, phases []float64, chunk int) []StreamEvent {
 	t.Helper()
-	m := d.NewFrameMachine()
+	m := mustMachine(t, d)
 	var events []StreamEvent
 	for off := 0; off < len(phases); off += chunk {
 		end := off + chunk
@@ -102,7 +112,7 @@ func TestFrameMachineDecodesBackToBackFrames(t *testing.T) {
 		}
 		phases = append(phases, l.Phases(med.Transmit(sig))...)
 	}
-	m := l.Decoder().NewFrameMachine()
+	m := mustMachine(t, l.Decoder())
 	var got []*Frame
 	for off := 0; off < len(phases); off += 4096 {
 		end := off + 4096
@@ -140,7 +150,7 @@ func TestFrameMachineBoundedMemoryOnNoise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := d.NewFrameMachine()
+	m := mustMachine(t, d)
 	rng := rand.New(rand.NewSource(23))
 	chunk := make([]float64, 4096)
 	for i := 0; i < 200; i++ {
@@ -202,7 +212,7 @@ func TestFrameMachineResetReuse(t *testing.T) {
 		t.Fatal(err)
 	}
 	phases := l.Phases(sig)
-	m := l.Decoder().NewFrameMachine()
+	m := mustMachine(t, l.Decoder())
 	run := func() int {
 		m.PushChunk(phases)
 		m.Flush()

@@ -71,16 +71,28 @@ type preambleScanner struct {
 
 // newPreambleScanner returns a scanner whose next consumed phase has
 // absolute stream index start (0 for a batch pass over a whole capture).
-func (d *Decoder) newPreambleScanner(start int) *preambleScanner {
+func (d *Decoder) newPreambleScanner(start int) (*preambleScanner, error) {
+	folder, err := dsp.NewSlidingFolder(d.p.BitPeriod, PreambleBits)
+	if err != nil {
+		return nil, fmt.Errorf("core: preamble scanner: %w", err)
+	}
+	counter, err := dsp.NewMovingSignCounter(d.p.StableLen)
+	if err != nil {
+		return nil, fmt.Errorf("core: preamble scanner: %w", err)
+	}
+	mean, err := dsp.NewMovingAverage(d.p.StableLen)
+	if err != nil {
+		return nil, fmt.Errorf("core: preamble scanner: %w", err)
+	}
 	s := &preambleScanner{
 		d:        d,
-		folder:   dsp.NewSlidingFolder(d.p.BitPeriod, PreambleBits),
-		counter:  dsp.NewMovingSignCounter(d.p.StableLen),
-		mean:     dsp.NewMovingAverage(d.p.StableLen),
+		folder:   folder,
+		counter:  counter,
+		mean:     mean,
 		foldSpan: d.p.BitPeriod * PreambleBits,
 	}
 	s.reset(start)
-	return s
+	return s, nil
 }
 
 // reset rewinds the scanner to a cold hunting state whose next consumed
@@ -107,6 +119,8 @@ func (s *preambleScanner) locked() bool { return s.remaining >= 0 }
 // reports whether the scan is complete: the bounded candidate-refinement
 // span after the first threshold crossing has been exhausted. Callers
 // must stop pushing once push returns true and move on to finish.
+//
+//symbee:hotpath
 func (s *preambleScanner) push(phi float64) bool {
 	if s.done {
 		return true
@@ -175,6 +189,12 @@ func (s *preambleScanner) selectionSpanEnd() int {
 // stream on a final flush). The selection logic — shortlist, template
 // alignment, earliest-strong-candidate rule and the anchor walk — is
 // the former tail of Decoder.capturePreamble, verbatim.
+//
+// finish is the per-frame boundary of the streaming path: its bounded
+// allocations (the shortlist scratch on first use) are outside the
+// per-sample zero-alloc budget.
+//
+//symbee:coldpath
 func (s *preambleScanner) finish(win phaseWindow) (int, error) {
 	if s.bestIdx < 0 {
 		return 0, ErrNoPreamble
@@ -342,6 +362,11 @@ func (d *Decoder) decodeFrameWin(win phaseWindow, anchor int, buf []byte) (*Fram
 // locked on a period off. It reports the anchor that actually produced
 // the frame so streaming callers can place the frame's end in the
 // stream; on failure it returns the error of the unshifted attempt.
+//
+// Runs once per locked frame, not per sample: the 4-allocs-per-frame
+// budget applies here, not the zero-alloc ingest budget.
+//
+//symbee:coldpath
 func (d *Decoder) decodeFrameWinWithRetry(win phaseWindow, anchor int, buf []byte) (*Frame, int, error) {
 	frame, err := d.decodeFrameWin(win, anchor, buf)
 	if err == nil {

@@ -1,6 +1,9 @@
 package dsp
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Energy returns the total energy of x: sum of |x[i]|^2.
 func Energy(x []complex128) float64 {
@@ -31,15 +34,14 @@ func Scale(x []complex128, a float64) []complex128 {
 	return x
 }
 
-// AddTo adds src into dst element-wise: dst[i] += src[i].
-// The slices must have the same length.
-func AddTo(dst, src []complex128) {
-	if len(dst) != len(src) {
-		panic("dsp: AddTo length mismatch")
-	}
-	for i := range dst {
+// AddTo adds src into dst element-wise over the shorter of the two
+// lengths, dst[i] += src[i], and returns the number of samples added.
+func AddTo(dst, src []complex128) int {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
 		dst[i] += src[i]
 	}
+	return n
 }
 
 // MixInto adds src into dst starting at offset, clipping src to the part
@@ -103,21 +105,24 @@ func RotateFrequency(x []complex128, freq, sampleRate float64, startSample int) 
 }
 
 // DelaySum returns y[n] = sum over taps of gain_k * x[n-delay_k], the
-// output of a sparse tapped-delay-line filter. Samples before the start
-// of x are treated as zero. The output has the same length as x.
-func DelaySum(x []complex128, delays []int, gains []complex128) []complex128 {
+// output of a sparse tapped-delay-line filter. Samples outside x are
+// treated as zero (negative delays read ahead, so the tap simply starts
+// later in x). The output has the same length as x. Mismatched
+// delay/gain tap lists are an error.
+func DelaySum(x []complex128, delays []int, gains []complex128) ([]complex128, error) {
 	if len(delays) != len(gains) {
-		panic("dsp: DelaySum taps mismatch")
+		return nil, fmt.Errorf("dsp: DelaySum tap mismatch: %d delays, %d gains", len(delays), len(gains))
 	}
 	y := make([]complex128, len(x))
 	for k, d := range delays {
 		g := gains[k]
-		if d < 0 {
-			panic("dsp: DelaySum negative delay")
-		}
-		for n := d; n < len(x); n++ {
-			y[n] += g * x[n-d]
+		for n := max(d, 0); n < len(x); n++ {
+			src := n - d
+			if src >= len(x) {
+				break
+			}
+			y[n] += g * x[src]
 		}
 	}
-	return y
+	return y, nil
 }

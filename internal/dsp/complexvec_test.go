@@ -104,7 +104,10 @@ func TestRotateFrequencyChunked(t *testing.T) {
 
 func TestDelaySum(t *testing.T) {
 	x := []complex128{1, 0, 0, 0}
-	y := DelaySum(x, []int{0, 2}, []complex128{1, 0.5})
+	y, err := DelaySum(x, []int{0, 2}, []complex128{1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []complex128{1, 0, 0.5, 0}
 	for i := range want {
 		if y[i] != want[i] {

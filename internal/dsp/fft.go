@@ -1,26 +1,27 @@
 package dsp
 
 import (
-	"fmt"
 	"math"
 	"math/bits"
 )
 
-// FFT computes the in-place radix-2 decimation-in-time fast Fourier
-// transform of x. The length of x must be a power of two. The forward
-// transform uses the engineering sign convention
+// FFT computes the radix-2 decimation-in-time fast Fourier transform
+// of x. The forward transform uses the engineering sign convention
 //
 //	X[k] = Σ_n x[n]·exp(-j·2πkn/N)
 //
-// It returns x for chaining.
+// Power-of-two lengths transform in place and return x; any other
+// length is zero-padded into a fresh buffer of the next power of two
+// (the DFT of the padded sequence), leaving x untouched.
 func FFT(x []complex128) []complex128 {
-	return fftDir(x, false)
+	return fftDir(padPow2(x), false)
 }
 
-// IFFT computes the inverse FFT of x in place, including the 1/N
-// normalization, and returns x.
+// IFFT computes the inverse FFT of x, including the 1/N normalization.
+// Like FFT it runs in place for power-of-two lengths and zero-pads
+// otherwise.
 func IFFT(x []complex128) []complex128 {
-	fftDir(x, true)
+	x = fftDir(padPow2(x), true)
 	scale := 1 / float64(len(x))
 	for i := range x {
 		x[i] *= complex(scale, 0)
@@ -28,13 +29,22 @@ func IFFT(x []complex128) []complex128 {
 	return x
 }
 
+// padPow2 returns x itself when its length is a power of two (or zero),
+// else a zero-padded copy of length NextPow2(len(x)).
+func padPow2(x []complex128) []complex128 {
+	n := len(x)
+	if n&(n-1) == 0 {
+		return x
+	}
+	buf := make([]complex128, NextPow2(n))
+	copy(buf, x)
+	return buf
+}
+
 func fftDir(x []complex128, inverse bool) []complex128 {
 	n := len(x)
 	if n == 0 {
 		return x
-	}
-	if n&(n-1) != 0 {
-		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
 	}
 	// Bit-reversal permutation.
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))

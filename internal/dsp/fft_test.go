@@ -63,13 +63,31 @@ func TestFFTParseval(t *testing.T) {
 	}
 }
 
-func TestFFTNonPow2Panics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for non-power-of-two length")
+func TestFFTNonPow2ZeroPads(t *testing.T) {
+	// Non-power-of-two input transforms a zero-padded copy, leaving the
+	// original untouched.
+	x := make([]complex128, 12)
+	for i := range x {
+		x[i] = complex(float64(i+1), 0)
+	}
+	orig := append([]complex128{}, x...)
+	X := FFT(x)
+	if len(X) != 16 {
+		t.Fatalf("padded length = %d, want 16", len(X))
+	}
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("FFT of non-power-of-two length mutated its input")
 		}
-	}()
-	FFT(make([]complex128, 12))
+	}
+	// DC bin equals the plain sum of the (padded) sequence.
+	var sum complex128
+	for _, v := range orig {
+		sum += v
+	}
+	if cmplx.Abs(X[0]-sum) > 1e-9 {
+		t.Errorf("DC bin = %v, want %v", X[0], sum)
+	}
 }
 
 func TestNextPow2(t *testing.T) {

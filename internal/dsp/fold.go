@@ -1,5 +1,7 @@
 package dsp
 
+import "fmt"
+
 // Fold implements the folding technique (Staelin's fast folding, paper
 // §V) used to detect a periodic pattern buried in noise: the input is
 // sliced into reps consecutive subvectors of length period, which are
@@ -11,13 +13,14 @@ package dsp
 // (one SymBee bit at 20 Msps) and reps = 4 (four preamble bits), so the
 // stable-phase region adds coherently while noise averages out.
 //
-// Fold panics if x is shorter than reps*period.
-func Fold(x []float64, period, reps int) []float64 {
+// Fold reports an error for non-positive dimensions or when x is
+// shorter than reps*period.
+func Fold(x []float64, period, reps int) ([]float64, error) {
 	if period <= 0 || reps <= 0 {
-		panic("dsp: Fold period and reps must be positive")
+		return nil, fmt.Errorf("dsp: Fold period %d and reps %d must be positive", period, reps)
 	}
 	if len(x) < period*reps {
-		panic("dsp: Fold input shorter than period*reps")
+		return nil, fmt.Errorf("dsp: Fold input length %d shorter than period*reps = %d", len(x), period*reps)
 	}
 	out := make([]float64, period)
 	for i := 0; i < reps; i++ {
@@ -26,12 +29,12 @@ func Fold(x []float64, period, reps int) []float64 {
 			out[n] += v
 		}
 	}
-	return out
+	return out, nil
 }
 
 // FoldAt is like Fold but starts folding at offset within x, enabling a
 // sliding preamble search without re-slicing.
-func FoldAt(x []float64, offset, period, reps int) []float64 {
+func FoldAt(x []float64, offset, period, reps int) ([]float64, error) {
 	return Fold(x[offset:], period, reps)
 }
 
@@ -55,15 +58,15 @@ type SlidingFolder struct {
 
 // NewSlidingFolder returns a SlidingFolder for the given period and
 // repetition count.
-func NewSlidingFolder(period, reps int) *SlidingFolder {
+func NewSlidingFolder(period, reps int) (*SlidingFolder, error) {
 	if period <= 0 || reps <= 0 {
-		panic("dsp: NewSlidingFolder period and reps must be positive")
+		return nil, fmt.Errorf("dsp: NewSlidingFolder period %d and reps %d must be positive", period, reps)
 	}
 	return &SlidingFolder{
 		period: period,
 		reps:   reps,
 		ring:   make([]float64, period*reps),
-	}
+	}, nil
 }
 
 // Push adds sample v to the stream. Once the folder has seen at least

@@ -9,7 +9,10 @@ import (
 func TestFoldBasic(t *testing.T) {
 	// Period 3, reps 2: columns sum pairwise.
 	x := []float64{1, 2, 3, 10, 20, 30}
-	got := Fold(x, 3, 2)
+	got, err := Fold(x, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []float64{11, 22, 33}
 	for i := range want {
 		if got[i] != want[i] {
@@ -20,7 +23,10 @@ func TestFoldBasic(t *testing.T) {
 
 func TestFoldAt(t *testing.T) {
 	x := []float64{99, 1, 2, 3, 10, 20, 30}
-	got := FoldAt(x, 1, 3, 2)
+	got, err := FoldAt(x, 1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []float64{11, 22, 33}
 	for i := range want {
 		if got[i] != want[i] {
@@ -29,13 +35,10 @@ func TestFoldAt(t *testing.T) {
 	}
 }
 
-func TestFoldPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for short input")
-		}
-	}()
-	Fold([]float64{1, 2}, 3, 2)
+func TestFoldShortInputErrors(t *testing.T) {
+	if _, err := Fold([]float64{1, 2}, 3, 2); err == nil {
+		t.Error("expected error for short input")
+	}
 }
 
 func TestFoldAmplifiesPeriodicSignal(t *testing.T) {
@@ -56,7 +59,10 @@ func TestFoldAmplifiesPeriodicSignal(t *testing.T) {
 			x[r*period+100+k] += 2.0
 		}
 	}
-	sum := Fold(x, period, reps)
+	sum, err := Fold(x, period, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
 	inside := Mean(sum[100:184])
 	outside := Mean(append(append([]float64{}, sum[:100]...), sum[184:]...))
 	if inside < outside+4 {
@@ -75,7 +81,10 @@ func TestSlidingFolderMatchesFold(t *testing.T) {
 	for i := range x {
 		x[i] = rng.NormFloat64()
 	}
-	f := NewSlidingFolder(period, reps)
+	f, err := NewSlidingFolder(period, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
 	win := period * reps
 	for i, v := range x {
 		sum, ok := f.Push(v)
@@ -100,7 +109,10 @@ func TestSlidingFolderMatchesFold(t *testing.T) {
 }
 
 func TestSlidingFolderReset(t *testing.T) {
-	f := NewSlidingFolder(2, 2)
+	f, err := NewSlidingFolder(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 4; i++ {
 		f.Push(1)
 	}

@@ -1,6 +1,9 @@
 package dsp
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // This file is the phase kernel layer: the per-sample primitives behind
 // the idle-listening stream ∠(x[n]·x*[n+lag]) that every receiver path
@@ -81,6 +84,8 @@ var (
 // never exceeds π, and axis inputs (either argument ±0) return the same
 // exact values (0, ±0, ±π/2, ±π) as the stdlib. NaN and infinite
 // inputs, and the (±0, ±0) corner, are delegated to math.Atan2.
+//
+//symbee:hotpath
 func FastAtan2(y, x float64) float64 {
 	ay, ax := math.Abs(y), math.Abs(x)
 	mx := max(ay, ax)
@@ -112,6 +117,8 @@ func FastAtan2(y, x float64) float64 {
 // default, math.Atan2 when UseExactPhase is set. Hot loops should hoist
 // the flag read per chunk (see PhaseDiffStream); this helper is for
 // per-sample call sites.
+//
+//symbee:hotpath
 func phaseOf(p complex128) float64 {
 	if UseExactPhase {
 		return math.Atan2(imag(p), real(p))
@@ -124,6 +131,8 @@ func phaseOf(p complex128) float64 {
 // imag(p) is −0 with real(p) < 0 (the −π seam). This is the SymBee bit
 // decision (§IV-C, boundary at 0) computed without any arc tangent — a
 // bit-exact replacement for Atan2(...) < 0, not an approximation.
+//
+//symbee:hotpath
 func PhaseNegative(p complex128) bool {
 	im := imag(p)
 	return im < 0 || (im == 0 && math.Signbit(im) && real(p) < 0)
@@ -150,20 +159,22 @@ type PhaseClassifier struct {
 // NewPhaseClassifier builds a classifier for the given compensation
 // rotation (radians added to every phase, e.g. +4π/5 for the canonical
 // ZigBee/WiFi channel pair) and threshold τ ∈ [0, π].
-func NewPhaseClassifier(rotation, threshold float64) PhaseClassifier {
+func NewPhaseClassifier(rotation, threshold float64) (PhaseClassifier, error) {
 	if threshold < 0 || threshold > math.Pi {
-		panic("dsp: NewPhaseClassifier threshold must be in [0, π]")
+		return PhaseClassifier{}, fmt.Errorf("dsp: NewPhaseClassifier threshold %v outside [0, π]", threshold)
 	}
 	c := math.Cos(threshold)
 	return PhaseClassifier{
 		rot:     complex(math.Cos(rotation), math.Sin(rotation)),
 		cosThr:  c,
 		cos2Thr: math.Copysign(c*c, c),
-	}
+	}, nil
 }
 
 // Negative reports whether the compensated phase is negative — the bit
 // decision of §IV-C after CFO compensation, atan2-free.
+//
+//symbee:hotpath
 func (c PhaseClassifier) Negative(p complex128) bool {
 	return PhaseNegative(p * c.rot)
 }
@@ -171,6 +182,8 @@ func (c PhaseClassifier) Negative(p complex128) bool {
 // Above reports whether |wrap(∠p + rotation)| ≥ τ. Using r = p·e^{jθ}:
 // |φ| ≥ τ ⇔ cos φ ≤ cos τ ⇔ real(r) ≤ cos τ · |r|, which resolves with
 // signs and one squared comparison — no square root, no arc tangent.
+//
+//symbee:hotpath
 func (c PhaseClassifier) Above(p complex128) bool {
 	r := p * c.rot
 	re, im := real(r), imag(r)

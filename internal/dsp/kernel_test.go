@@ -182,7 +182,10 @@ func TestUseExactPhaseEscapeHatch(t *testing.T) {
 	for _, exact := range []bool{false, true} {
 		UseExactPhase = exact
 		batch := PhaseDiffStream(x, lag)
-		s := NewPhaseDiffStreamer(lag)
+		s, err := NewPhaseDiffStreamer(lag)
+		if err != nil {
+			t.Fatal(err)
+		}
 		inc := s.Process(x, nil)
 		if len(batch) != len(inc) {
 			t.Fatalf("exact=%v: batch %d phases, streamer %d", exact, len(batch), len(inc))
@@ -242,7 +245,10 @@ func TestPhaseClassifier(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
 	for _, rot := range []float64{0, 4 * math.Pi / 5, -4 * math.Pi / 5, 1.1} {
 		for _, thr := range []float64{0, math.Pi / 10, 4 * math.Pi / 5 * 0.9, math.Pi} {
-			cl := NewPhaseClassifier(rot, thr)
+			cl, err := NewPhaseClassifier(rot, thr)
+			if err != nil {
+				t.Fatal(err)
+			}
 			for i := 0; i < 200_000; i++ {
 				p := complex(rng.NormFloat64(), rng.NormFloat64())
 				phi := WrapPhase(math.Atan2(imag(p), real(p)) + rot)
@@ -263,12 +269,22 @@ func TestPhaseClassifier(t *testing.T) {
 		}
 	}
 	// Zero product: ∠0 = 0 by convention.
-	cl := NewPhaseClassifier(0, math.Pi/2)
+	cl, err := NewPhaseClassifier(0, math.Pi/2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cl.Above(0) {
 		t.Error("Above(0) with τ=π/2 should be false")
 	}
-	if !NewPhaseClassifier(0, 0).Above(0) {
+	clZero, err := NewPhaseClassifier(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clZero.Above(0) {
 		t.Error("Above(0) with τ=0 should be true")
+	}
+	if _, err := NewPhaseClassifier(0, -1); err == nil {
+		t.Error("expected error for threshold outside [0, π]")
 	}
 }
 
@@ -316,7 +332,10 @@ func BenchmarkPhaseClassify(b *testing.B) {
 	for i := range ps {
 		ps[i] = complex(rng.NormFloat64(), rng.NormFloat64())
 	}
-	cl := NewPhaseClassifier(4*math.Pi/5, 4*math.Pi/5*0.9)
+	cl, err := NewPhaseClassifier(4*math.Pi/5, 4*math.Pi/5*0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	n := 0
 	for i := 0; i < b.N; i++ {

@@ -1,5 +1,7 @@
 package dsp
 
+import "fmt"
+
 // MovingSignCounter maintains, over a sliding window of fixed size, the
 // number of negative values in the window. The SymBee decoder slides an
 // 84-value window over the phase stream and checks whether at least
@@ -13,11 +15,11 @@ type MovingSignCounter struct {
 }
 
 // NewMovingSignCounter returns a counter with the given window size.
-func NewMovingSignCounter(window int) *MovingSignCounter {
+func NewMovingSignCounter(window int) (*MovingSignCounter, error) {
 	if window <= 0 {
-		panic("dsp: NewMovingSignCounter window must be positive")
+		return nil, fmt.Errorf("dsp: NewMovingSignCounter window %d must be positive", window)
 	}
-	return &MovingSignCounter{ring: make([]float64, window)}
+	return &MovingSignCounter{ring: make([]float64, window)}, nil
 }
 
 // Push adds v to the window, evicting the oldest value when full.
@@ -60,11 +62,11 @@ type MovingAverage struct {
 }
 
 // NewMovingAverage returns a moving average with the given window size.
-func NewMovingAverage(window int) *MovingAverage {
+func NewMovingAverage(window int) (*MovingAverage, error) {
 	if window <= 0 {
-		panic("dsp: NewMovingAverage window must be positive")
+		return nil, fmt.Errorf("dsp: NewMovingAverage window %d must be positive", window)
 	}
-	return &MovingAverage{ring: make([]float64, window)}
+	return &MovingAverage{ring: make([]float64, window)}, nil
 }
 
 // Push adds v and returns the mean over the (possibly partially filled)

@@ -7,7 +7,10 @@ import (
 )
 
 func TestMovingSignCounter(t *testing.T) {
-	c := NewMovingSignCounter(3)
+	c, err := NewMovingSignCounter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	type step struct {
 		v          float64
 		full       bool
@@ -40,7 +43,10 @@ func TestMovingSignCounter(t *testing.T) {
 func TestMovingSignCounterRandomAgainstBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	const window = 84
-	c := NewMovingSignCounter(window)
+	c, err := NewMovingSignCounter(window)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var vals []float64
 	for i := 0; i < 2000; i++ {
 		v := rng.NormFloat64()
@@ -63,7 +69,13 @@ func TestMovingSignCounterRandomAgainstBruteForce(t *testing.T) {
 }
 
 func TestMovingAverage(t *testing.T) {
-	a := NewMovingAverage(2)
+	a, err := NewMovingAverage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMovingAverage(0); err == nil {
+		t.Error("expected error for non-positive window")
+	}
 	if got := a.Push(2); got != 2 {
 		t.Errorf("first = %v", got)
 	}

@@ -9,6 +9,8 @@ import "math"
 // in a half-open 2π interval that differ by a multiple of 2π are the
 // same value. They just skip math.Mod, which dominates the per-sample
 // cost of CFO compensation on the streaming hot path.
+//
+//symbee:hotpath
 func WrapPhase(phi float64) float64 {
 	if phi > -math.Pi && phi <= math.Pi {
 		return phi
@@ -44,11 +46,11 @@ func WrapPhase(phi float64) float64 {
 // Angles come from the phase kernel (FastAtan2 unless UseExactPhase is
 // set); the flag is read once per call, so a capture is computed with
 // one kernel throughout.
+//
+// A non-positive lag, like an input shorter than lag+1 samples, admits
+// no phase pairs and returns nil.
 func PhaseDiffStream(x []complex128, lag int) []float64 {
-	if lag <= 0 {
-		panic("dsp: PhaseDiffStream lag must be positive")
-	}
-	if len(x) <= lag {
+	if lag <= 0 || len(x) <= lag {
 		return nil
 	}
 	out := make([]float64, len(x)-lag)

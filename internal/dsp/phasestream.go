@@ -1,5 +1,7 @@
 package dsp
 
+import "fmt"
+
 // PhaseDiffStreamer computes the idle-listening phase stream
 // incrementally: IQ samples are pushed in arbitrarily sized chunks and
 // each phase value is emitted as soon as its lag-delayed partner sample
@@ -16,11 +18,11 @@ type PhaseDiffStreamer struct {
 
 // NewPhaseDiffStreamer returns a streamer for the given autocorrelation
 // lag (16 at 20 Msps, 32 at 40 Msps).
-func NewPhaseDiffStreamer(lag int) *PhaseDiffStreamer {
+func NewPhaseDiffStreamer(lag int) (*PhaseDiffStreamer, error) {
 	if lag <= 0 {
-		panic("dsp: NewPhaseDiffStreamer lag must be positive")
+		return nil, fmt.Errorf("dsp: NewPhaseDiffStreamer lag %d must be positive", lag)
 	}
-	return &PhaseDiffStreamer{lag: lag, ring: make([]complex128, lag)}
+	return &PhaseDiffStreamer{lag: lag, ring: make([]complex128, lag)}, nil
 }
 
 // Lag returns the autocorrelation lag in samples.
@@ -30,6 +32,8 @@ func (s *PhaseDiffStreamer) Lag() int { return s.lag }
 // pushed it returns ∠(x[n]·x*[n+lag]) for n = pushed−lag−1 — the same
 // value PhaseDiffStream produces at that index — with ok=true; during
 // the initial lag-sample warm-up ok is false.
+//
+//symbee:hotpath
 func (s *PhaseDiffStreamer) Push(x complex128) (phi float64, ok bool) {
 	if s.fill < s.lag {
 		s.ring[s.pos] = x
@@ -55,6 +59,8 @@ func (s *PhaseDiffStreamer) Push(x complex128) (phi float64, ok bool) {
 // Process pushes every sample of in and appends the phases that become
 // available to out, returning the extended slice. It is the chunk-sized
 // convenience wrapper around Push for hot ingestion paths.
+//
+//symbee:hotpath
 func (s *PhaseDiffStreamer) Process(in []complex128, out []float64) []float64 {
 	for _, x := range in {
 		if phi, ok := s.Push(x); ok {

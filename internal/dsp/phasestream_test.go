@@ -19,7 +19,10 @@ func TestPhaseDiffStreamerMatchesBatch(t *testing.T) {
 	for _, lag := range []int{1, 16, 32} {
 		want := PhaseDiffStream(x, lag)
 		for _, chunk := range []int{1, 7, 16, 17, 4096, len(x)} {
-			s := NewPhaseDiffStreamer(lag)
+			s, err := NewPhaseDiffStreamer(lag)
+			if err != nil {
+				t.Fatal(err)
+			}
 			var got []float64
 			for off := 0; off < len(x); off += chunk {
 				end := off + chunk
@@ -42,7 +45,10 @@ func TestPhaseDiffStreamerMatchesBatch(t *testing.T) {
 }
 
 func TestPhaseDiffStreamerWarmup(t *testing.T) {
-	s := NewPhaseDiffStreamer(4)
+	s, err := NewPhaseDiffStreamer(4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 4; i++ {
 		if _, ok := s.Push(complex(float64(i), 0)); ok {
 			t.Fatalf("phase emitted during warm-up at sample %d", i)
@@ -56,7 +62,10 @@ func TestPhaseDiffStreamerWarmup(t *testing.T) {
 func TestPhaseDiffStreamerReset(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	x := randomIQ(100, rng)
-	s := NewPhaseDiffStreamer(16)
+	s, err := NewPhaseDiffStreamer(16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	first := s.Process(x, nil)
 	s.Reset()
 	second := s.Process(x, nil)
@@ -70,11 +79,8 @@ func TestPhaseDiffStreamerReset(t *testing.T) {
 	}
 }
 
-func TestPhaseDiffStreamerPanicsOnBadLag(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic for lag 0")
-		}
-	}()
-	NewPhaseDiffStreamer(0)
+func TestPhaseDiffStreamerErrorsOnBadLag(t *testing.T) {
+	if _, err := NewPhaseDiffStreamer(0); err == nil {
+		t.Fatal("no error for lag 0")
+	}
 }

@@ -1,6 +1,7 @@
 package dsp
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -73,11 +74,24 @@ func FromDB(db float64) float64 {
 	return math.Pow(10, db/10)
 }
 
+// ApproxEqual reports whether a and b agree within the absolute
+// tolerance tol. It is the comparison DSP code should use in place of
+// exact == / != between computed floats (the floatcmp rule): NaN is
+// never approximately equal to anything, and infinities only match
+// themselves.
+func ApproxEqual(a, b, tol float64) bool {
+	if a == b { //symbee:ignore floatcmp -- the fast path for exact hits, incl. matching infinities
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
 // Histogram counts x into nbins equal-width bins spanning [lo, hi].
 // Values outside the range are clamped into the first/last bin.
-func Histogram(x []float64, lo, hi float64, nbins int) []int {
+// Degenerate binnings (nbins <= 0 or an empty range) are an error.
+func Histogram(x []float64, lo, hi float64, nbins int) ([]int, error) {
 	if nbins <= 0 || hi <= lo {
-		panic("dsp: Histogram needs nbins > 0 and hi > lo")
+		return nil, fmt.Errorf("dsp: Histogram needs nbins > 0 and hi > lo (got nbins=%d, lo=%v, hi=%v)", nbins, lo, hi)
 	}
 	counts := make([]int, nbins)
 	scale := float64(nbins) / (hi - lo)
@@ -91,5 +105,5 @@ func Histogram(x []float64, lo, hi float64, nbins int) []int {
 		}
 		counts[i]++
 	}
-	return counts
+	return counts, nil
 }

@@ -56,8 +56,14 @@ func TestDBRoundTrip(t *testing.T) {
 
 func TestHistogram(t *testing.T) {
 	x := []float64{-1, 0, 0.4, 0.6, 1.4, 5}
-	h := Histogram(x, 0, 2, 4) // bins [0,.5) [.5,1) [1,1.5) [1.5,2)
-	want := []int{3, 1, 1, 1}  // -1 clamps into bin 0, 5 clamps into bin 3
+	h, err := Histogram(x, 0, 2, 4) // bins [0,.5) [.5,1) [1,1.5) [1.5,2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Histogram(x, 2, 0, 4); err == nil {
+		t.Error("expected error for inverted range")
+	}
+	want := []int{3, 1, 1, 1} // -1 clamps into bin 0, 5 clamps into bin 3
 	for i := range want {
 		if h[i] != want[i] {
 			t.Errorf("Histogram[%d] = %d, want %d (full %v)", i, h[i], want[i], h)

@@ -63,7 +63,10 @@ func NewSimLink(cfg SimConfig) (*SimLink, error) {
 		metrics: m,
 	}
 	if cfg.Stream {
-		l.srx = stream.NewReceiverFromDecoder(l.dec, m)
+		l.srx, err = stream.NewReceiverFromDecoder(l.dec, m)
+		if err != nil {
+			return nil, fmt.Errorf("reliable: %w", err)
+		}
 		// The FrameMachine defers its decode until a max-size frame
 		// could have ended; zero padding after each capture opens that
 		// gate without risking a false lock (zero phases fold to zero,

@@ -9,6 +9,7 @@ import (
 
 	"symbee/internal/core"
 	"symbee/internal/stream"
+	"symbee/internal/testutil"
 )
 
 // scriptTx is a Transport driven by a per-send outcome script:
@@ -366,6 +367,7 @@ func TestSessionStickyCodedMode(t *testing.T) {
 }
 
 func TestSessionContextCancel(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	s, err := NewSession(newScriptTx(""), Config{Seed: 1})
@@ -443,6 +445,7 @@ func TestVirtualClock(t *testing.T) {
 }
 
 func TestWallClockSleepCancel(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
 	c := NewWallClock()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -36,37 +36,37 @@ func LightweightDecoding(opts Options) (*Table, error) {
 
 	// SymBee marginal decode: capture + majority voting on phases the
 	// front-end already produced.
-	start := time.Now()
+	start := wallNow()
 	for i := 0; i < reps; i++ {
 		if _, err := link.Decoder().DecodeBits(phases, nBits); err != nil {
 			return nil, err
 		}
 	}
-	symbeePerPkt := time.Since(start) / time.Duration(reps)
+	symbeePerPkt := wallNow().Sub(start) / time.Duration(reps)
 
 	// Sync-only and vote-only breakdown.
 	anchor, err := link.Decoder().CapturePreamble(phases)
 	if err != nil {
 		return nil, err
 	}
-	start = time.Now()
+	start = wallNow()
 	for i := 0; i < reps; i++ {
 		if _, err := link.Decoder().DecodeSyncBits(phases, anchor, nBits); err != nil {
 			return nil, err
 		}
 	}
-	votePerPkt := time.Since(start) / time.Duration(reps)
+	votePerPkt := wallNow().Sub(start) / time.Duration(reps)
 
 	// Full SDR ZigBee demodulation of the same packet (the gateway
 	// alternative: an extra radio pipeline running at all times).
 	nSymbols := len(sig)/(32*p.BitPeriod/64) - 1
-	start = time.Now()
+	start = wallNow()
 	for i := 0; i < reps; i++ {
 		if _, err := demod.DemodulateSymbols(sig, 0, nSymbols); err != nil {
 			return nil, err
 		}
 	}
-	sdrPerPkt := time.Since(start) / time.Duration(reps)
+	sdrPerPkt := wallNow().Sub(start) / time.Duration(reps)
 
 	t := &Table{
 		Title:   "Lightweight decoding — marginal cost of SymBee reception (§IV-C)",

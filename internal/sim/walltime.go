@@ -1,0 +1,9 @@
+package sim
+
+import "time"
+
+// wallNow is the package's single wall-clock seam. The lightweight-
+// decoding table measures real CPU cost on the host — a wall-clock
+// quantity by definition — so it deliberately bypasses the virtual-time
+// plumbing that the rest of the simulations run on.
+var wallNow = time.Now //symbee:ignore determinism -- decode-cost tables measure real host time

@@ -7,6 +7,7 @@ import (
 
 	"symbee/internal/channel"
 	"symbee/internal/core"
+	"symbee/internal/testutil"
 	"symbee/internal/wifi"
 )
 
@@ -164,6 +165,7 @@ func diffEvents(t *testing.T, label string, got, want []Event) {
 // pass, the phase-input path matches the IQ path, and the first decoded
 // frame matches the batch Decoder.DecodeFrame answer.
 func TestStreamingMatchesBatch(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
 	for _, c := range equivalenceCaptures(t) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {

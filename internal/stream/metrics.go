@@ -3,6 +3,7 @@ package stream
 import (
 	"encoding/json"
 	"math"
+	"sort"
 	"sync/atomic"
 )
 
@@ -28,17 +29,22 @@ type Histogram struct {
 	sum     atomic.Uint64 // float64 bits, CAS-accumulated
 }
 
-// NewHistogram returns a histogram with the given ascending upper
-// bounds (one extra overflow bucket is added internally).
+// NewHistogram returns a histogram with the given upper bounds. Bounds
+// are sorted and deduplicated, so any bound set yields a well-formed
+// histogram (one extra overflow bucket is added internally).
 func NewHistogram(bounds ...float64) *Histogram {
-	for i := 1; i < len(bounds); i++ {
-		if bounds[i] <= bounds[i-1] {
-			panic("stream: histogram bounds must ascend")
+	sorted := make([]float64, len(bounds))
+	copy(sorted, bounds)
+	sort.Float64s(sorted)
+	dedup := sorted[:0]
+	for i, b := range sorted {
+		if i == 0 || b > dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
 		}
 	}
 	return &Histogram{
-		bounds:  bounds,
-		buckets: make([]atomic.Uint64, len(bounds)+1),
+		bounds:  dedup,
+		buckets: make([]atomic.Uint64, len(dedup)+1),
 	}
 }
 

@@ -71,13 +71,26 @@ func TestHistogramConcurrentSum(t *testing.T) {
 	}
 }
 
-func TestHistogramBadBoundsPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("descending bounds did not panic")
+func TestHistogramNormalizesBounds(t *testing.T) {
+	// Unsorted and duplicated bounds are sorted and deduplicated, so the
+	// histogram is always well-formed.
+	h := NewHistogram(10, 5, 10)
+	for _, v := range []float64{1, 7, 50} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) != 3 { // ≤5, ≤10, overflow
+		t.Fatalf("buckets = %d, want 3", len(s.Buckets))
+	}
+	if s.Buckets[0].Le != 5 || s.Buckets[1].Le != 10 {
+		t.Errorf("bounds = %v, %v, want 5, 10", s.Buckets[0].Le, s.Buckets[1].Le)
+	}
+	wantCounts := []uint64{1, 1, 1}
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, wantCounts[i])
 		}
-	}()
-	NewHistogram(10, 5)
+	}
 }
 
 func TestSnapshotJSONSchema(t *testing.T) {

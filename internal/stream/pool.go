@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"time"
 
 	"symbee/internal/core"
 )
@@ -212,19 +211,33 @@ func (w *worker) run() {
 }
 
 func (w *worker) process(c Chunk) {
-	start := time.Now()
+	start := wallNow()
 	r, ok := w.sessions[c.Stream]
 	if !ok {
-		r = NewReceiverFromDecoder(w.pool.decoder, w.pool.metrics)
+		var err error
+		r, err = NewReceiverFromDecoder(w.pool.decoder, w.pool.metrics)
+		if err != nil {
+			// The shared decoder was already validated when the pool was
+			// built, so a receiver for it cannot fail; count the chunk as
+			// dropped rather than crash the worker if it somehow does.
+			w.pool.metrics.Drops.Add(1)
+			return
+		}
 		r.id = c.Stream
 		w.sessions[c.Stream] = r
 		w.pool.metrics.StreamsOpened.Add(1)
 	}
+	// A push can only fail on a flushed machine; sessions are deleted at
+	// flush, so a failure here means the chunk raced a close — drop it.
 	if len(c.IQ) > 0 {
-		r.PushIQ(c.IQ)
+		if err := r.PushIQ(c.IQ); err != nil {
+			w.pool.metrics.Drops.Add(1)
+		}
 	}
 	if len(c.Phases) > 0 {
-		r.PushPhases(c.Phases)
+		if err := r.PushPhases(c.Phases); err != nil {
+			w.pool.metrics.Drops.Add(1)
+		}
 	}
 	if c.Flush {
 		r.Flush()
@@ -232,7 +245,7 @@ func (w *worker) process(c Chunk) {
 		w.pool.metrics.StreamsFlushed.Add(1)
 	}
 	w.emit(r)
-	w.pool.metrics.ChunkNanos.Observe(float64(time.Since(start)))
+	w.pool.metrics.ChunkNanos.Observe(float64(wallNow().Sub(start)))
 }
 
 func (w *worker) emit(r *Receiver) {

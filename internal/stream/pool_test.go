@@ -2,12 +2,14 @@ package stream
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"symbee/internal/channel"
 	"symbee/internal/core"
+	"symbee/internal/testutil"
 	"symbee/internal/wifi"
 )
 
@@ -41,6 +43,7 @@ func makeStreamCapture(t *testing.T, p core.Params, seq byte, seed int64) []comp
 // proves the shard-ownership model: stream state is only ever touched by
 // its owning worker.
 func TestPoolDecodesConcurrentStreams(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
 	p := core.Params20()
 	const streams = 8
 	captures := make([][]complex128, streams)
@@ -110,6 +113,7 @@ func TestPoolDecodesConcurrentStreams(t *testing.T) {
 // TestPoolCloseFlushesOpenStreams: a stream never explicitly flushed
 // must still deliver its frame when the pool shuts down.
 func TestPoolCloseFlushesOpenStreams(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
 	p := core.Params20()
 	iq := makeStreamCapture(t, p, 42, 7)
 	var mu sync.Mutex
@@ -143,6 +147,7 @@ func TestPoolCloseFlushesOpenStreams(t *testing.T) {
 // Ingest returns either accepted (counted in chunks_in) or rejected
 // (counted in drops), and the two sides always sum to the offered load.
 func TestPoolDropAccounting(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
 	p := core.Params20()
 	iq := makeStreamCapture(t, p, 1, 8)
 	pool, err := NewPool(Config{
@@ -180,6 +185,7 @@ func TestPoolDropAccounting(t *testing.T) {
 // TestPoolSharding: chunks of one stream always land on the same worker
 // (ownership is stable), and IDs spread across workers.
 func TestPoolSharding(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
 	pool, err := NewPool(Config{Params: core.Params20(), Workers: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -196,4 +202,22 @@ func TestPoolSharding(t *testing.T) {
 	if len(seen) != 4 {
 		t.Errorf("16 ids hit %d of 4 workers", len(seen))
 	}
+}
+
+// TestPoolContextCancelShutsDown: canceling the bound context closes
+// the pool — workers and the watcher goroutine all exit (the leak
+// checker enforces this) and late Ingest calls are rejected.
+func TestPoolContextCancelShutsDown(t *testing.T) {
+	defer testutil.CheckGoroutineLeaks(t)()
+	ctx, cancel := context.WithCancel(context.Background())
+	pool, err := NewPoolContext(ctx, Config{Params: core.Params20(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	<-pool.done
+	if pool.Ingest(Chunk{Stream: 1, Phases: []float64{0}}) {
+		t.Error("Ingest accepted a chunk after context cancellation")
+	}
+	pool.Close() // idempotent with the context-driven close
 }

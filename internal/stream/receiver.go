@@ -36,54 +36,66 @@ func NewReceiver(p core.Params, compensation float64, metrics *Metrics) (*Receiv
 	if err != nil {
 		return nil, err
 	}
-	return NewReceiverFromDecoder(d, metrics), nil
+	return NewReceiverFromDecoder(d, metrics)
 }
 
 // NewReceiverFromDecoder wraps an existing decoder (useful when many
 // receivers share one template/threshold configuration).
-func NewReceiverFromDecoder(d *core.Decoder, metrics *Metrics) *Receiver {
-	return &Receiver{
-		phaser:  dsp.NewPhaseDiffStreamer(d.Params().Lag),
-		machine: d.NewFrameMachine(),
-		metrics: metrics,
+func NewReceiverFromDecoder(d *core.Decoder, metrics *Metrics) (*Receiver, error) {
+	phaser, err := dsp.NewPhaseDiffStreamer(d.Params().Lag)
+	if err != nil {
+		return nil, err
 	}
+	machine, err := d.NewFrameMachine()
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{
+		phaser:  phaser,
+		machine: machine,
+		metrics: metrics,
+	}, nil
 }
 
 // PushIQ consumes a chunk of IQ samples: the lag-ring front-end turns
-// them into phases, which feed the frame machine.
-func (r *Receiver) PushIQ(iq []complex128) {
+// them into phases, which feed the frame machine. Pushing into a
+// flushed receiver reports core.ErrFlushed.
+func (r *Receiver) PushIQ(iq []complex128) error {
 	var start time.Time
 	if r.metrics != nil {
-		start = time.Now()
+		start = wallNow()
 	}
 	r.scratch = r.phaser.Process(iq, r.scratch[:0])
 	var mid time.Time
 	if r.metrics != nil {
-		mid = time.Now()
+		mid = wallNow()
 		r.metrics.SamplesIn.Add(uint64(len(iq)))
 		r.metrics.PhasesProduced.Add(uint64(len(r.scratch)))
 		r.metrics.PhaseNanos.Observe(float64(mid.Sub(start)))
 	}
-	r.machine.PushChunk(r.scratch)
+	err := r.machine.PushChunk(r.scratch)
 	if r.metrics != nil {
-		r.metrics.DecodeNanos.Observe(float64(time.Since(mid)))
+		r.metrics.DecodeNanos.Observe(float64(wallNow().Sub(mid)))
 	}
 	r.account()
+	return err
 }
 
 // PushPhases consumes a chunk of already-computed phase values (a
-// KindPhase trace, or an external front-end).
-func (r *Receiver) PushPhases(phases []float64) {
+// KindPhase trace, or an external front-end). Pushing into a flushed
+// receiver reports core.ErrFlushed.
+func (r *Receiver) PushPhases(phases []float64) error {
 	var start time.Time
 	if r.metrics != nil {
-		start = time.Now()
+		start = wallNow()
 	}
-	r.machine.PushChunk(phases)
+	err := r.machine.PushChunk(phases)
 	if r.metrics != nil {
 		r.metrics.PhasesIn.Add(uint64(len(phases)))
-		r.metrics.DecodeNanos.Observe(float64(time.Since(start)))
+		r.metrics.DecodeNanos.Observe(float64(wallNow().Sub(start)))
 	}
 	r.account()
+	return err
 }
 
 // Flush ends the stream, forcing any pending decode with the data at

@@ -1,8 +1,6 @@
 package stream
 
 import (
-	"time"
-
 	"symbee/internal/core"
 )
 
@@ -38,14 +36,16 @@ func MeasureThroughput(p core.Params, compensation float64, iq []complex128, chu
 		chunk = 4096
 	}
 	rep := ThroughputReport{ChunkSize: chunk}
-	start := time.Now()
+	start := wallNow()
 	for rep.Samples < minSamples {
 		for off := 0; off < len(iq); off += chunk {
 			end := off + chunk
 			if end > len(iq) {
 				end = len(iq)
 			}
-			r.PushIQ(iq[off:end])
+			if err := r.PushIQ(iq[off:end]); err != nil {
+				return rep, err
+			}
 			for _, ev := range r.Drain() {
 				switch ev.Kind {
 				case core.EventFrame:
@@ -57,7 +57,7 @@ func MeasureThroughput(p core.Params, compensation float64, iq []complex128, chu
 		}
 		rep.Samples += uint64(len(iq))
 	}
-	rep.Seconds = time.Since(start).Seconds()
+	rep.Seconds = wallNow().Sub(start).Seconds()
 	if rep.Seconds > 0 {
 		rep.SamplesPerSec = float64(rep.Samples) / rep.Seconds
 	}

@@ -1,0 +1,112 @@
+package vet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+// AnalyzerErrwrap enforces the error-taxonomy contract (DESIGN.md §6:
+// sentinel errors like core.ErrCRC are part of the public API and must
+// survive wrapping). It flags:
+//
+//   - fmt.Errorf calls that receive error-typed arguments but fewer %w
+//     verbs than errors: the chain breaks and errors.Is stops matching
+//     the sentinel;
+//   - comparing err.Error() strings with == or !=: message text is not
+//     part of the contract;
+//   - comparing two error values with == or != (other than against
+//     nil): sentinels may arrive wrapped, so only errors.Is sees them.
+func AnalyzerErrwrap() *Analyzer {
+	return &Analyzer{
+		Name: "errwrap",
+		Doc:  "enforce %w wrapping and errors.Is/As over string or identity comparison",
+		Run:  runErrwrap,
+	}
+}
+
+const wrapFix = "use %w for the error argument so errors.Is/As keep matching the sentinel"
+const strcmpFix = "compare with errors.Is(err, sentinel), not message text"
+const identcmpFix = "use errors.Is (or errors.As) — the sentinel may be wrapped"
+
+func runErrwrap(prog *Program, u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				out = append(out, checkErrorf(prog, u, n)...)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					out = append(out, checkErrCompare(prog, u, n)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkErrorf verifies that fmt.Errorf wraps every error argument.
+func checkErrorf(prog *Program, u *Unit, call *ast.CallExpr) []Diagnostic {
+	if _, ok := calleeIn(u.Info, call, "fmt", "Errorf"); !ok {
+		return nil
+	}
+	if len(call.Args) < 2 {
+		return nil
+	}
+	var errArgs int
+	for _, arg := range call.Args[1:] {
+		if isErrorType(u.Info.TypeOf(arg)) {
+			errArgs++
+		}
+	}
+	if errArgs == 0 {
+		return nil
+	}
+	tv, ok := u.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return nil // non-constant format: can't count verbs
+	}
+	wraps := strings.Count(constant.StringVal(tv.Value), "%w")
+	if wraps >= errArgs {
+		return nil
+	}
+	return []Diagnostic{prog.diag("errwrap", call.Pos(), wrapFix,
+		"fmt.Errorf receives %d error value(s) but the format has %d %%w verb(s): the error chain is cut", errArgs, wraps)}
+}
+
+// checkErrCompare flags ==/!= on err.Error() strings and on error
+// values themselves (except against nil).
+func checkErrCompare(prog *Program, u *Unit, cmp *ast.BinaryExpr) []Diagnostic {
+	var out []Diagnostic
+	for _, op := range []ast.Expr{cmp.X, cmp.Y} {
+		call, ok := ast.Unparen(op).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+			continue
+		}
+		if isErrorType(u.Info.TypeOf(sel.X)) {
+			out = append(out, prog.diag("errwrap", cmp.Pos(), strcmpFix,
+				"comparing err.Error() text with %s: error messages are not a stable API", cmp.Op))
+			return out
+		}
+	}
+	if isNilExpr(u, cmp.X) || isNilExpr(u, cmp.Y) {
+		return out // err != nil is the idiom, not a violation
+	}
+	if isErrorType(u.Info.TypeOf(cmp.X)) && isErrorType(u.Info.TypeOf(cmp.Y)) {
+		out = append(out, prog.diag("errwrap", cmp.Pos(), identcmpFix,
+			"comparing error values with %s misses wrapped sentinels", cmp.Op))
+	}
+	return out
+}
+
+func isNilExpr(u *Unit, e ast.Expr) bool {
+	tv, ok := u.Info.Types[e]
+	return ok && tv.IsNil()
+}

@@ -1,0 +1,93 @@
+package vet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatcmp flags == and != between floating-point (or complex)
+// operands in the DSP and channel code: after resampling, FFT round
+// trips and phase unwrapping, exact equality is a latent flake.
+//
+// Exemptions, matching the kernel's documented IEEE idioms:
+//
+//   - one operand is an exact constant zero (`mag2 == 0`, `im != 0`):
+//     the bit-exact zero test that guards division and sign seams;
+//   - syntactic self-comparison (`x != x`): the NaN probe;
+//   - both operands constant: folded at compile time.
+func AnalyzerFloatcmp() *Analyzer {
+	return &Analyzer{
+		Name: "floatcmp",
+		Doc:  "forbid exact ==/!= between float operands (NaN/rounding hazards)",
+		Run:  runFloatcmp,
+	}
+}
+
+const floatFix = "use dsp.ApproxEqual(a, b, tol) or an explicit |a-b| <= tol with a documented tolerance"
+
+func runFloatcmp(prog *Program, u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(u, cmp.X) || !isFloatOperand(u, cmp.Y) {
+				return true
+			}
+			xc, yc := constOf(u, cmp.X), constOf(u, cmp.Y)
+			if xc != nil && yc != nil {
+				return true // both constant: folded, exact by definition
+			}
+			if isExactZero(xc) || isExactZero(yc) {
+				return true // IEEE zero test guarding a division or sign seam
+			}
+			if types.ExprString(ast.Unparen(cmp.X)) == types.ExprString(ast.Unparen(cmp.Y)) {
+				return true // x != x: the NaN probe
+			}
+			out = append(out, prog.diag("floatcmp", cmp.Pos(), floatFix,
+				"exact %s between floating-point operands: rounding makes this comparison unstable", cmp.Op))
+			return true
+		})
+	}
+	return out
+}
+
+// isFloatOperand reports whether e has floating-point or complex type.
+func isFloatOperand(u *Unit, e ast.Expr) bool {
+	t := u.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// constOf returns the constant value of e, or nil.
+func constOf(u *Unit, e ast.Expr) constant.Value {
+	if tv, ok := u.Info.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+// isExactZero reports whether v is the constant zero (real and, for
+// complex, imaginary parts both zero).
+func isExactZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(v)) == 0 && constant.Sign(constant.Imag(v)) == 0
+	}
+	return false
+}

@@ -1,0 +1,318 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// AnalyzerHotpathAlloc enforces the zero-alloc steady-state invariant
+// of the streaming ingest (DESIGN.md §7, pinned by the AllocsPerRun==0
+// tests): functions annotated //symbee:hotpath, and every function they
+// statically call within the module, must not contain
+// allocation-inducing constructs.
+//
+// Flagged constructs:
+//
+//   - append whose result is not assigned back to the slice it appends
+//     to (x = append(x, ...) — the amortized reuse pattern — is
+//     allowed; anything else can grow a fresh backing array per call)
+//   - string concatenation (non-constant)
+//   - any call into package fmt
+//   - make, new, and map/slice composite literals (including &T{})
+//   - func literals that capture enclosing variables (closure
+//     allocation)
+//   - interface-typed parameters receiving non-pointer concrete
+//     arguments (boxing at the call site)
+//
+// Propagation stops at functions annotated //symbee:coldpath: the
+// per-frame boundary, where bounded allocation is the documented
+// contract (4 allocs/frame), as opposed to the per-sample ingest where
+// the budget is zero.
+func AnalyzerHotpathAlloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotpath-alloc",
+		Doc:  "forbid allocation-inducing constructs in //symbee:hotpath call graphs",
+		Run:  runHotpathAlloc,
+	}
+}
+
+func runHotpathAlloc(prog *Program, u *Unit) []Diagnostic {
+	hot := hotpathSet(prog)
+	// Deterministic iteration: the framework sorts diagnostics, but the
+	// check order itself should not depend on map order either.
+	fns := make([]*types.Func, 0, len(hot))
+	for fn := range hot {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	var out []Diagnostic
+	for _, fn := range fns {
+		decl, du := prog.Decl(fn)
+		if du != u || decl.Body == nil {
+			continue // report each function in its defining unit only
+		}
+		out = append(out, checkHotFunc(prog, du, decl, hot[fn])...)
+	}
+	return out
+}
+
+// hotpathSet computes the transitive hot set: annotated roots plus
+// every module function they statically reach, each mapped to the
+// display name of the root that pulled it in.
+func hotpathSet(prog *Program) map[*types.Func]string {
+	hot := make(map[*types.Func]string)
+	var queue []*types.Func
+	// Deterministic root order: collect then sort by position.
+	var roots []*types.Func
+	for fn, decl := range prog.decls {
+		if hasDirective(decl, "//symbee:hotpath") {
+			roots = append(roots, fn)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	for _, fn := range roots {
+		hot[fn] = funcDisplayName(fn)
+		queue = append(queue, fn)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		decl, u := prog.Decl(fn)
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		root := hot[fn]
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(u.Info, call)
+			if callee == nil {
+				return true
+			}
+			cd, _ := prog.Decl(callee)
+			if cd == nil {
+				return true // outside the module, or interface method
+			}
+			if hasDirective(cd, "//symbee:coldpath") {
+				return true // explicit per-frame/setup boundary
+			}
+			if _, seen := hot[callee]; !seen {
+				hot[callee] = root
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+	return hot
+}
+
+const hotpathFix = "hoist the allocation to setup, reuse a retained buffer, " +
+	"mark the callee //symbee:coldpath if it is per-frame, or //symbee:ignore hotpath-alloc with a rationale"
+
+// checkHotFunc flags allocation-inducing constructs in one hot
+// function body.
+func checkHotFunc(prog *Program, u *Unit, decl *ast.FuncDecl, root string) []Diagnostic {
+	var out []Diagnostic
+	info := u.Info
+	in := "in hot path (reached from " + root + ")"
+	report := func(n ast.Node, format string, args ...any) {
+		args = append(args, in)
+		out = append(out, prog.diag("hotpath-alloc", n.Pos(), hotpathFix, format+" %s", args...))
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if capt := capturedVars(info, decl, n); len(capt) > 0 {
+				report(n, "func literal captures %q: closure allocates", capt[0])
+			}
+			// The literal's body belongs to the closure, which runs
+			// whenever it runs — if it is invoked on the hot path it is
+			// reached through its own call edge; don't double-report.
+			return false
+		case *ast.AssignStmt:
+			// Recognize the amortized-growth idiom before descending:
+			// x = append(x, ...) and x = append(x[:k], ...).
+			for i, rhs := range n.Rhs {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltin(info, call, "append") {
+					if i < len(n.Lhs) && appendReusesTarget(n.Lhs[i], call) {
+						// Walk the non-slice arguments only.
+						for _, arg := range call.Args[1:] {
+							ast.Inspect(arg, walk)
+						}
+						continue
+					}
+					report(call, "append result is not assigned back to its operand: backing array may be reallocated per call")
+					for _, arg := range call.Args {
+						ast.Inspect(arg, walk)
+					}
+					continue
+				}
+				ast.Inspect(rhs, walk)
+			}
+			for _, lhs := range n.Lhs {
+				ast.Inspect(lhs, walk)
+			}
+			return false
+		case *ast.ReturnStmt:
+			// return append(x, ...) hands growth to the caller — the
+			// caller-managed reuse pattern (Process-style APIs) — as
+			// long as the appended slice is a parameter the caller owns.
+			for _, res := range n.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isBuiltin(info, call, "append") {
+					for _, arg := range call.Args[1:] {
+						ast.Inspect(arg, walk)
+					}
+					continue
+				}
+				ast.Inspect(res, walk)
+			}
+			return false
+		case *ast.CallExpr:
+			switch {
+			case isBuiltin(info, n, "append"):
+				report(n, "append outside a grow-assign (x = append(x, ...)): backing array may be reallocated per call")
+			case isBuiltin(info, n, "make"):
+				report(n, "make allocates")
+			case isBuiltin(info, n, "new"):
+				report(n, "new allocates")
+			default:
+				if name, ok := calleeIn(info, n, "fmt"); ok {
+					report(n, "fmt.%s allocates (formatting, boxing)", name)
+				}
+				out = append(out, checkBoxing(prog, info, n, in)...)
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(n, "slice literal allocates")
+				case *types.Map:
+					report(n, "map literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n, "&composite literal escapes to the heap")
+					return false
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				t := info.TypeOf(n)
+				if t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if tv, ok := info.Types[n]; !ok || tv.Value == nil { // constant folds are free
+							report(n, "string concatenation allocates")
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(decl.Body, walk)
+	return out
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// appendReusesTarget reports whether `lhs = append(first, ...)` writes
+// back to the slice it appends to: lhs and the base of first must be
+// the same expression (x and x, or x and x[:k]).
+func appendReusesTarget(lhs ast.Expr, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	first := ast.Unparen(call.Args[0])
+	if sl, ok := first.(*ast.SliceExpr); ok {
+		first = ast.Unparen(sl.X)
+	}
+	return types.ExprString(lhs) == types.ExprString(first)
+}
+
+// capturedVars lists names of variables a func literal captures from
+// its enclosing function (declared after the enclosing declaration
+// starts and before the literal does).
+func capturedVars(info *types.Info, encl *ast.FuncDecl, lit *ast.FuncLit) []string {
+	seen := make(map[string]bool)
+	var names []string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= encl.Pos() && v.Pos() < lit.Pos() && !seen[v.Name()] {
+			seen[v.Name()] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	sort.Strings(names)
+	return names
+}
+
+// checkBoxing flags non-pointer concrete arguments passed to
+// interface-typed parameters.
+func checkBoxing(prog *Program, info *types.Info, call *ast.CallExpr, in string) []Diagnostic {
+	sigTV, ok := info.Types[call.Fun]
+	if !ok || sigTV.Type == nil {
+		return nil
+	}
+	sig, ok := sigTV.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []Diagnostic
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // slice passed whole
+			} else {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, ok := pt.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		switch at.Underlying().(type) {
+		case *types.Interface, *types.Pointer:
+			continue // no boxing: interface copy, or pointer in the data word
+		}
+		out = append(out, prog.diag("hotpath-alloc", arg.Pos(), hotpathFix,
+			"passing concrete %s to interface parameter boxes it %s", at.String(), in))
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package vet
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression comments:
+//
+//	//symbee:ignore <rules> -- rationale     silences the listed rules on
+//	                                          this line and the next one
+//	//symbee:ignore-file <rules> -- rationale silences them for the file
+//
+// Rules are comma-separated analyzer names; "all" matches every rule.
+// The rationale (anything after "--" or "—") is free-form and ignored
+// by the machinery, but the convention is that an ignore without a why
+// does not survive review.
+
+type fileIgnores struct {
+	// byLine maps a source line to the rules ignored on it.
+	byLine map[int][]string
+	// whole holds file-wide ignored rules.
+	whole []string
+}
+
+func (p *Program) indexIgnores(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			var rules []string
+			var whole bool
+			switch {
+			case strings.HasPrefix(text, "symbee:ignore-file"):
+				rules = parseIgnoreRules(strings.TrimPrefix(text, "symbee:ignore-file"))
+				whole = true
+			case strings.HasPrefix(text, "symbee:ignore"):
+				rules = parseIgnoreRules(strings.TrimPrefix(text, "symbee:ignore"))
+			default:
+				continue
+			}
+			if len(rules) == 0 {
+				continue
+			}
+			pos := p.Fset.Position(c.Pos())
+			fi := p.ignores[pos.Filename]
+			if fi == nil {
+				fi = &fileIgnores{byLine: make(map[int][]string)}
+				p.ignores[pos.Filename] = fi
+			}
+			if whole {
+				fi.whole = append(fi.whole, rules...)
+			} else {
+				fi.byLine[pos.Line] = append(fi.byLine[pos.Line], rules...)
+			}
+		}
+	}
+}
+
+// parseIgnoreRules extracts the rule list, stopping at a rationale
+// separator ("--" or "—").
+func parseIgnoreRules(s string) []string {
+	for _, sep := range []string{"--", "—"} {
+		if i := strings.Index(s, sep); i >= 0 {
+			s = s[:i]
+		}
+	}
+	var rules []string
+	for _, field := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if field != "" {
+			rules = append(rules, field)
+		}
+	}
+	return rules
+}
+
+// suppressed reports whether d is silenced by an ignore comment: a
+// file-wide ignore, or a line ignore on the diagnostic's line or the
+// line directly above it.
+func (p *Program) suppressed(d Diagnostic) bool {
+	fi := p.ignores[d.File]
+	if fi == nil {
+		return false
+	}
+	match := func(rules []string) bool {
+		for _, r := range rules {
+			if r == d.Rule || r == "all" {
+				return true
+			}
+		}
+		return false
+	}
+	if match(fi.whole) {
+		return true
+	}
+	return match(fi.byLine[d.Line]) || match(fi.byLine[d.Line-1])
+}

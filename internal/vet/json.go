@@ -1,0 +1,48 @@
+package vet
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report is the machine-readable result of a run — the stable schema
+// editor and CI integrations consume (json_test.go pins it).
+type Report struct {
+	// Patterns are the package patterns the run was invoked with.
+	Patterns []string `json:"patterns"`
+	// Rules are the analyzer names that ran, in suite order.
+	Rules []string `json:"rules"`
+	// Packages is the number of packages analyzed.
+	Packages int `json:"packages"`
+	// Diagnostics are the surviving findings in position order; an
+	// empty run serializes as [] rather than null.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Count duplicates len(diagnostics) for cheap shell consumption
+	// (jq .count).
+	Count int `json:"count"`
+}
+
+// NewReport assembles the JSON payload for one run.
+func NewReport(patterns []string, analyzers []*Analyzer, prog *Program, diags []Diagnostic) Report {
+	rules := make([]string, len(analyzers))
+	for i, az := range analyzers {
+		rules[i] = az.Name
+	}
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	return Report{
+		Patterns:    patterns,
+		Rules:       rules,
+		Packages:    len(prog.Units),
+		Diagnostics: diags,
+		Count:       len(diags),
+	}
+}
+
+// WriteJSON renders the report, indented, to w.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,50 @@
+// Package errwrap is a golden fixture for the errwrap analyzer.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBusy is a sentinel callers match with errors.Is.
+var ErrBusy = errors.New("busy")
+
+// WrapCut wraps with %v, cutting the chain.
+func WrapCut(err error) error {
+	return fmt.Errorf("push failed: %v", err) // want `1 error value\(s\) but the format has 0 %w verb\(s\)`
+}
+
+// WrapHalf wraps only one of two errors.
+func WrapHalf(a, b error) error {
+	return fmt.Errorf("a=%w b=%v", a, b) // want `2 error value\(s\) but the format has 1 %w verb\(s\)`
+}
+
+// WrapGood keeps the chain intact.
+func WrapGood(err error) error {
+	return fmt.Errorf("push failed: %w", err) // ok
+}
+
+// FormatValue has no error arguments at all.
+func FormatValue(n int) error {
+	return fmt.Errorf("bad count %d", n) // ok
+}
+
+// TextMatch compares message strings.
+func TextMatch(err error) bool {
+	return err.Error() == "busy" // want `comparing err\.Error\(\) text with ==`
+}
+
+// IdentityMatch compares error identity directly.
+func IdentityMatch(err error) bool {
+	return err == ErrBusy // want `comparing error values with == misses wrapped sentinels`
+}
+
+// NilCheck is the idiom, not a violation.
+func NilCheck(err error) bool {
+	return err != nil // ok
+}
+
+// IsMatch is the blessed sentinel test.
+func IsMatch(err error) bool {
+	return errors.Is(err, ErrBusy) // ok
+}

@@ -1,0 +1,35 @@
+// Package floatcmp is a golden fixture for the floatcmp analyzer.
+package floatcmp
+
+// Equal compares computed floats exactly.
+func Equal(a, b float64) bool {
+	return a == b // want `exact == between floating-point operands`
+}
+
+// Drift compares float32 results exactly.
+func Drift(x, y float32) bool {
+	return x+1 != y // want `exact != between floating-point operands`
+}
+
+// SpectraMatch compares complex samples exactly.
+func SpectraMatch(c1, c2 complex128) bool {
+	return c1 == c2 // want `exact == between floating-point operands`
+}
+
+// ZeroGuard is the IEEE zero test protecting a division.
+func ZeroGuard(mag2 float64) float64 {
+	if mag2 == 0 { // ok: exact-zero guard
+		return 0
+	}
+	return 1 / mag2
+}
+
+// IsNaN is the self-comparison probe.
+func IsNaN(x float64) bool {
+	return x != x // ok: NaN idiom
+}
+
+// IntCompare is not a float comparison at all.
+func IntCompare(i, j int) bool {
+	return i == j // ok
+}

@@ -1,0 +1,58 @@
+// Package hotpath is a golden fixture for the hotpath-alloc analyzer.
+package hotpath
+
+import "fmt"
+
+// State is the retained per-stream scratch.
+type State struct {
+	buf  []float64
+	out  []float64
+	tags map[string]int
+}
+
+var sink []float64
+
+// Ingest is the per-sample entry point.
+//
+//symbee:hotpath
+func Ingest(s *State, x float64) {
+	s.buf = append(s.buf, x) // ok: grow-assign reuses the retained buffer
+	if len(s.buf) >= 4 {
+		process(s)
+	}
+}
+
+// process is hot transitively: Ingest calls it.
+func process(s *State) {
+	tmp := make([]float64, len(s.buf)) // want `make allocates`
+	copy(tmp, s.buf)
+	sink = append(tmp, 1)             // want `append result is not assigned back`
+	fmt.Println(s)                    // want `fmt\.Println allocates`
+	record(s.buf[0])                  // want `passing concrete float64 to interface parameter boxes it`
+	s.tags = map[string]int{}         // want `map literal allocates`
+	s.out = append(s.out[:0], tmp...) // ok: reslice of the same target
+	s.buf = s.buf[:0]
+	emit(s, Flush(s))
+}
+
+func record(v any) { _ = v }
+
+func emit(s *State, vals []float64) {
+	f := func() { s.out = vals } // want `func literal captures`
+	f()
+}
+
+// Flush is the per-frame boundary: bounded allocation is its contract,
+// so propagation stops here.
+//
+//symbee:coldpath
+func Flush(s *State) []float64 {
+	out := make([]float64, len(s.out)) // ok: behind //symbee:coldpath
+	copy(out, s.out)
+	return out
+}
+
+// Setup is never reached from a hot root; it may allocate freely.
+func Setup(n int) *State {
+	return &State{buf: make([]float64, 0, n), tags: map[string]int{}} // ok: cold
+}

@@ -1,0 +1,33 @@
+// Package ignore is a fixture for the suppression machinery
+// (ignore_test.go asserts which of these survive).
+package ignore
+
+import "time"
+
+// SameLine is suppressed by a trailing comment on the violating line.
+func SameLine() time.Time {
+	return time.Now() //symbee:ignore determinism -- fixture: same-line suppression
+}
+
+// LineAbove is suppressed by a comment on the line above.
+func LineAbove() time.Time {
+	//symbee:ignore determinism -- fixture: line-above suppression
+	return time.Now()
+}
+
+// WrongRule names a different rule, so the diagnostic still fires.
+func WrongRule() time.Time {
+	return time.Now() //symbee:ignore floatcmp -- fixture: wrong rule, must not suppress
+}
+
+// TooFar has the comment two lines up, out of range.
+func TooFar() time.Time {
+	//symbee:ignore determinism -- fixture: too far, must not suppress
+
+	return time.Now()
+}
+
+// Unsuppressed has no ignore at all.
+func Unsuppressed() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,14 @@
+//symbee:ignore-file all -- fixture: file-wide wildcard suppression
+package ignore
+
+import "time"
+
+// FileWide is covered by the ignore-file directive above.
+func FileWide() time.Time {
+	return time.Now()
+}
+
+// FileWideToo is covered as well — the directive spans the whole file.
+func FileWideToo() time.Time {
+	return time.Now()
+}

@@ -1,5 +1,7 @@
 package zigbee
 
+import "fmt"
+
 // IEEE 802.15.4 2.4 GHz O-QPSK PHY constants.
 const (
 	// ChipsPerSymbol is the DSSS spreading factor: each 4-bit symbol maps
@@ -62,13 +64,11 @@ func buildChipTable() [NumSymbols][ChipsPerSymbol]byte {
 }
 
 // ChipSequence returns a copy of the 32-chip spreading sequence for
-// symbol s (0-15). It panics if s is out of range.
+// symbol s. A symbol is a nibble by construction, so only the low four
+// bits of s are significant; higher bits are masked off.
 func ChipSequence(s byte) []byte {
-	if s >= NumSymbols {
-		panic("zigbee: symbol out of range")
-	}
 	seq := make([]byte, ChipsPerSymbol)
-	copy(seq, chipTable[s][:])
+	copy(seq, chipTable[s&0x0F][:])
 	return seq
 }
 
@@ -84,13 +84,11 @@ func ChipString(s byte) string {
 }
 
 // SpreadSymbols concatenates the chip sequences of the given symbols.
+// As in ChipSequence, only the low nibble of each symbol is used.
 func SpreadSymbols(symbols []byte) []byte {
 	chips := make([]byte, 0, len(symbols)*ChipsPerSymbol)
 	for _, s := range symbols {
-		if s >= NumSymbols {
-			panic("zigbee: symbol out of range")
-		}
-		chips = append(chips, chipTable[s][:]...)
+		chips = append(chips, chipTable[s&0x0F][:]...)
 	}
 	return chips
 }
@@ -127,9 +125,9 @@ func BytesToSymbols(data []byte, order SymbolOrder) []byte {
 
 // SymbolsToBytes packs a symbol stream back into bytes in the given
 // nibble order. The symbol count must be even.
-func SymbolsToBytes(symbols []byte, order SymbolOrder) []byte {
+func SymbolsToBytes(symbols []byte, order SymbolOrder) ([]byte, error) {
 	if len(symbols)%2 != 0 {
-		panic("zigbee: odd symbol count")
+		return nil, fmt.Errorf("zigbee: odd symbol count %d", len(symbols))
 	}
 	data := make([]byte, len(symbols)/2)
 	for i := range data {
@@ -140,5 +138,5 @@ func SymbolsToBytes(symbols []byte, order SymbolOrder) []byte {
 			data[i] = a<<4 | b&0x0F
 		}
 	}
-	return data
+	return data, nil
 }

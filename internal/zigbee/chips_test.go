@@ -96,8 +96,8 @@ func TestBytesSymbolsRoundTrip(t *testing.T) {
 			if len(syms) != len(data)*2 {
 				return false
 			}
-			back := SymbolsToBytes(syms, order)
-			if len(back) != len(data) {
+			back, err := SymbolsToBytes(syms, order)
+			if err != nil || len(back) != len(data) {
 				return false
 			}
 			for i := range data {

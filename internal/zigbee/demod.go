@@ -147,7 +147,10 @@ func (d *Demodulator) ReceiveAt(x []complex128, start int, order SymbolOrder) ([
 	if err != nil {
 		return nil, err
 	}
-	header := SymbolsToBytes(headerSyms, order)
+	header, err := SymbolsToBytes(headerSyms, order)
+	if err != nil {
+		return nil, err
+	}
 	if header[PreambleLen] != SFD {
 		return nil, fmt.Errorf("%w: got 0x%02X", ErrBadSFD, header[PreambleLen])
 	}
@@ -161,7 +164,11 @@ func (d *Demodulator) ReceiveAt(x []complex128, start int, order SymbolOrder) ([
 	if err != nil {
 		return nil, err
 	}
-	ppdu := append(header, SymbolsToBytes(psduSyms, order)...)
+	psdu, err := SymbolsToBytes(psduSyms, order)
+	if err != nil {
+		return nil, err
+	}
+	ppdu := append(header, psdu...)
 	return ParsePPDU(ppdu)
 }
 

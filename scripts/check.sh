@@ -1,12 +1,23 @@
 #!/bin/sh
-# Repo-wide verification: formatting gate, build, vet, full test suite,
-# then the race detector over the concurrency-bearing packages (the
-# streaming pipeline and the decoder state machine it drives). CI runs
-# this same script, so a green local run means a green check job.
+# Repo-wide verification: formatting gate, build, vet, the project's own
+# static-analysis suite (symbeevet), full test suite, the panic gate for
+# library code, then the race detector over the concurrency-bearing
+# packages (the streaming pipeline, the decoder state machine, the ARQ
+# layer and the channel simulator it drives). CI runs this same script,
+# so a green local run means a green check job.
 set -eux
 cd "$(dirname "$0")/.."
 test -z "$(gofmt -l .)" || { gofmt -l .; echo "gofmt: files above need formatting"; exit 1; }
 go build ./...
 go vet ./...
+go run ./cmd/symbeevet ./...
 go test ./...
-go test -race ./internal/stream/... ./internal/core/...
+# Race coverage over the concurrency-bearing packages. The ARQ soak is
+# bounded to two seeds here: one seeded 4 KiB transfer costs ~1 min
+# under the race detector, and the full 100-seed acceptance sweep runs
+# race-free in CI's dedicated soak job.
+RELIABLE_SOAK_RUNS=2 go test -race -timeout 15m ./internal/stream/... ./internal/core/... ./internal/reliable/... ./internal/channel/...
+# Library code reports errors, it does not panic: the only panic( calls
+# allowed outside tests are the vet suite's own fixtures/doc strings.
+panics="$(grep -rn 'panic(' --include='*.go' cmd internal examples *.go | grep -v _test.go | grep -v '^internal/vet/' || true)"
+test -z "$panics" || { echo "$panics"; echo "panic( found in library code (use error returns; see DESIGN.md §9)"; exit 1; }
