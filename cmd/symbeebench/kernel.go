@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"symbee/internal/cli"
 	"symbee/internal/core"
 	"symbee/internal/dsp"
 )
@@ -148,14 +149,9 @@ func runKernelBench(seed int64, samples int, outPath, baselinePath string) error
 		Multi:     row(runtime.GOMAXPROCS(0)),
 	}
 
-	if outPath != "" {
-		out, err := json.MarshalIndent(art, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
-			return err
-		}
+	if wrote, err := cli.WriteJSON(outPath, art); err != nil {
+		return err
+	} else if wrote {
 		fmt.Printf("  wrote %s\n", outPath)
 	}
 	if baselinePath != "" {

@@ -12,6 +12,7 @@
 //	symbeebench -stream -stream-out BENCH_stream.json
 //	symbeebench -kernel -kernel-out BENCH_kernel.json -kernel-baseline BENCH_kernel.json
 //	symbeebench -reliable -reliable-out BENCH_reliable.json
+//	symbeebench -multisender -multisender-out BENCH_multisender.json
 package main
 
 import (
@@ -20,15 +21,16 @@ import (
 	"os"
 	"time"
 
+	"symbee/internal/cli"
 	"symbee/internal/sim"
 )
 
 func main() {
 	var (
+		seed    = cli.RegisterSeed(flag.CommandLine)
 		list    = flag.Bool("list", false, "list available experiments")
 		run     = flag.String("run", "", "experiment id to run (see -list)")
 		all     = flag.Bool("all", false, "run every experiment")
-		seed    = flag.Int64("seed", 1, "random seed")
 		packets = flag.Int("packets", 0, "packets per measurement point (0 = default)")
 		short   = flag.Bool("short", false, "quarter-size runs")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -47,8 +49,20 @@ func main() {
 		reliableOut   = flag.String("reliable-out", "BENCH_reliable.json", "file for the reliability JSON artifact (\"\" = don't write)")
 		reliableRuns  = flag.Int("reliable-runs", 100, "seeded soak runs per receive path")
 		reliableMsg   = flag.Int("reliable-msg", 4096, "message size in bytes for every reliability measurement")
+
+		msBench  = flag.Bool("multisender", false, "sweep the shared-medium scenario over 1/2/4/8 concurrent senders")
+		msOut    = flag.String("multisender-out", "BENCH_multisender.json", "file for the multi-sender JSON artifact (\"\" = don't write)")
+		msFrames = flag.Int("multisender-frames", 8, "frames each sender transmits")
+		msGap    = flag.Float64("multisender-gap", 2, "mean inter-frame gap in airtime multiples")
 	)
 	flag.Parse()
+	if *msBench {
+		if err := runMultiSenderBench(*seed, *msFrames, *msGap, *msOut); err != nil {
+			fmt.Fprintln(os.Stderr, "symbeebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *reliableBench {
 		if err := runReliableBench(*seed, *reliableRuns, *reliableMsg, *reliableOut); err != nil {
 			fmt.Fprintln(os.Stderr, "symbeebench:", err)

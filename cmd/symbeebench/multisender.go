@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"symbee/internal/cli"
+	"symbee/internal/link"
+)
+
+// multisenderArtifact is the schema of BENCH_multisender.json: the
+// shared-medium scenario swept over sender counts, with aggregate
+// goodput and per-sender collision accounting at each width.
+type multisenderArtifact struct {
+	Benchmark       string                   `json:"benchmark"`
+	Seed            int64                    `json:"seed"`
+	FramesPerSender int                      `json:"frames_per_sender"`
+	MeanGapAirtimes float64                  `json:"mean_gap_airtimes"`
+	Sweep           []link.MultiSenderReport `json:"sweep"`
+}
+
+// multisenderWidths is the sender-count sweep of the artifact.
+var multisenderWidths = []int{1, 2, 4, 8}
+
+// runMultiSenderBench sweeps the shared-medium scenario over N
+// concurrent ZigBee senders into one WiFi receiver and writes
+// BENCH_multisender.json.
+func runMultiSenderBench(seed int64, frames int, gap float64, outPath string) error {
+	art := multisenderArtifact{
+		Benchmark:       "multisender-shared-medium",
+		Seed:            seed,
+		FramesPerSender: frames,
+		MeanGapAirtimes: gap,
+	}
+	fmt.Printf("multi-sender shared-medium bench: %d frames/sender, mean gap %.1f airtimes\n", frames, gap)
+	start := time.Now()
+	for _, n := range multisenderWidths {
+		rep, err := link.RunMultiSender(link.MultiSenderConfig{
+			Senders:         n,
+			FramesPerSender: frames,
+			Seed:            seed,
+			SNRdB:           20,
+			MeanGapAirtimes: gap,
+			CFOJitterHz:     20e3,
+			SFOppm:          10,
+			GainSpreadDB:    3,
+		})
+		if err != nil {
+			return err
+		}
+		art.Sweep = append(art.Sweep, *rep)
+		fmt.Printf("  N=%d: %d/%d delivered, goodput %7.0f bps, collision rate %.0f%% (%.2fs air)\n",
+			n, rep.Delivered, n*frames, rep.GoodputBps, rep.CollisionRate*100, rep.DurationSec)
+	}
+	fmt.Printf("  [%v]\n", time.Since(start).Round(time.Millisecond))
+	if wrote, err := cli.WriteJSON(outPath, art); err != nil {
+		return err
+	} else if wrote {
+		fmt.Printf("  wrote %s\n", outPath)
+	}
+	return nil
+}

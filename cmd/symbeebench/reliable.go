@@ -3,12 +3,11 @@ package main
 import (
 	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
 	"time"
 
 	"symbee/internal/channel"
+	"symbee/internal/cli"
 	"symbee/internal/reliable"
 	"symbee/internal/stream"
 )
@@ -158,14 +157,9 @@ func runReliableBench(seed int64, runs, msgLen int, outPath string) error {
 	}
 	fmt.Printf("  [%v] soak_ok=%v overhead_ok=%v\n", time.Since(start).Round(time.Second), art.SoakOK, art.OverheadOK)
 
-	if outPath != "" {
-		data, err := json.MarshalIndent(art, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
+	if wrote, err := cli.WriteJSON(outPath, art); err != nil {
+		return err
+	} else if wrote {
 		fmt.Printf("  wrote %s\n", outPath)
 	}
 	if !art.SoakOK || !art.OverheadOK {

@@ -1,12 +1,11 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
 
 	"symbee/internal/channel"
+	"symbee/internal/cli"
 	"symbee/internal/core"
 	"symbee/internal/stream"
 	"symbee/internal/wifi"
@@ -78,16 +77,10 @@ func runStreamBench(seed int64, chunk int, minSamples uint64, outPath string) er
 		Realtime:    frameRep.SamplesPerSec >= p.SampleRate,
 	}
 	fmt.Printf("  real-time at %.0f Msps: %v\n", p.SampleRate/1e6, art.Realtime)
-	if outPath == "" {
-		return nil
-	}
-	out, err := json.MarshalIndent(art, "", "  ")
-	if err != nil {
+	if wrote, err := cli.WriteJSON(outPath, art); err != nil {
 		return err
+	} else if wrote {
+		fmt.Printf("  wrote %s\n", outPath)
 	}
-	if err := os.WriteFile(outPath, append(out, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("  wrote %s\n", outPath)
 	return nil
 }

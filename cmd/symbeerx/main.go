@@ -18,41 +18,33 @@ import (
 
 	"symbee"
 	"symbee/internal/channel"
+	"symbee/internal/cli"
 	"symbee/internal/trace"
 )
 
 func main() {
 	var (
-		in   = flag.String("in", "", "trace file to decode")
-		nBit = flag.Int("bits", 0, "decode this many raw bits instead of a frame")
-		snr  = flag.Float64("snr", 0, "add noise at this SNR in dB (with -impair)")
-		cfo  = flag.Float64("cfo", 0, "apply this carrier offset in Hz before decoding")
-		seed = flag.Int64("seed", 1, "noise seed")
+		input = cli.RegisterInput(flag.CommandLine, false)
+		seed  = cli.RegisterSeed(flag.CommandLine)
+		nBit  = flag.Int("bits", 0, "decode this many raw bits instead of a frame")
+		snr   = flag.Float64("snr", 0, "add noise at this SNR in dB (with -impair)")
+		cfo   = flag.Float64("cfo", 0, "apply this carrier offset in Hz before decoding")
 	)
 	flag.Parse()
-	if err := run(*in, *nBit, *snr, *cfo, *seed); err != nil {
+	if err := run(input, *nBit, *snr, *cfo, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "symbeerx:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, nBits int, snr, cfo float64, seed int64) error {
-	if in == "" {
-		return fmt.Errorf("need -in trace file")
-	}
-	tr, err := trace.Load(in)
+func run(input *cli.Input, nBits int, snr, cfo float64, seed int64) error {
+	tr, err := input.Load()
 	if err != nil {
 		return err
 	}
-
-	var p symbee.Params
-	switch tr.SampleRate {
-	case 20e6:
-		p = symbee.Params20()
-	case 40e6:
-		p = symbee.Params40()
-	default:
-		return fmt.Errorf("trace rate %v unsupported", tr.SampleRate)
+	p, err := cli.ParamsForTrace(tr)
+	if err != nil {
+		return err
 	}
 
 	comp := 0.0
@@ -97,7 +89,7 @@ func run(in string, nBits int, snr, cfo float64, seed int64) error {
 		return nil
 	}
 
-	frame, err := dec.DecodeFrame(phases)
+	frame, err := symbee.DecodeBatch(dec, phases)
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"symbee"
+	"symbee/internal/cli"
 	"symbee/internal/dsp"
 	"symbee/internal/trace"
 	"symbee/internal/wifi"
@@ -25,21 +26,18 @@ import (
 
 func main() {
 	var (
-		in      = flag.String("in", "", "IQ trace file to scan")
+		input   = cli.RegisterInput(flag.CommandLine, false)
 		verbose = flag.Bool("v", false, "print per-detection detail")
 	)
 	flag.Parse()
-	if err := run(*in, *verbose); err != nil {
+	if err := run(input, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "symbeescan:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in string, verbose bool) error {
-	if in == "" {
-		return fmt.Errorf("need -in trace file")
-	}
-	tr, err := trace.Load(in)
+func run(input *cli.Input, verbose bool) error {
+	tr, err := input.Load()
 	if err != nil {
 		return err
 	}
@@ -114,14 +112,9 @@ func scanZigBee(tr *trace.Trace, verbose bool) error {
 }
 
 func scanSymBee(tr *trace.Trace) error {
-	var p symbee.Params
-	switch tr.SampleRate {
-	case 20e6:
-		p = symbee.Params20()
-	case 40e6:
-		p = symbee.Params40()
-	default:
-		fmt.Printf("SymBee: unsupported rate\n\n")
+	p, err := cli.ParamsForTrace(tr)
+	if err != nil {
+		fmt.Printf("SymBee: %v\n\n", err)
 		return nil
 	}
 	link, err := symbee.NewLink(p, 0)
@@ -135,7 +128,7 @@ func scanSymBee(tr *trace.Trace) error {
 		return nil
 	}
 	fmt.Printf("SymBee (WiFi side): preamble at phase index %d\n", anchor)
-	if f, err := link.Decoder().DecodeFrame(phases); err == nil {
+	if f, err := symbee.DecodeBatch(link.Decoder(), phases); err == nil {
 		fmt.Printf("  frame: seq=%d flags=%X data=%q\n", f.Seq, f.Flags, f.Data)
 	} else {
 		fmt.Printf("  frame decode: %v (raw-bit message? try symbeerx -bits N)\n", err)

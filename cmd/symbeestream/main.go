@@ -15,21 +15,17 @@
 package main
 
 import (
-	"bufio"
 	"context"
-	"encoding/binary"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
-	"io"
-	"math"
 	"os"
 	"os/signal"
 	"sync"
 	"syscall"
 	"time"
 
+	"symbee/internal/cli"
 	"symbee/internal/core"
 	"symbee/internal/stream"
 	"symbee/internal/trace"
@@ -38,13 +34,11 @@ import (
 
 func main() {
 	var (
-		in        = flag.String("in", "", "trace file to replay (\"-\" for stdin)")
-		raw       = flag.Bool("raw", false, "read raw interleaved complex64 LE IQ from stdin instead of a trace")
-		rate      = flag.Float64("rate", 20e6, "sample rate for -raw input, Hz")
+		input     = cli.RegisterInput(flag.CommandLine, true)
+		workers   = cli.RegisterWorkers(flag.CommandLine)
 		streams   = flag.Int("streams", 1, "replay the capture as this many concurrent streams")
 		repeat    = flag.Int("repeat", 1, "times each stream loops the capture")
 		chunk     = flag.Int("chunk", 4096, "chunk size in samples")
-		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		queue     = flag.Int("queue", 0, "per-worker queue depth (0 = default)")
 		drop      = flag.Bool("drop", false, "drop chunks when a worker queue is full instead of blocking")
 		sps       = flag.Float64("sps", 0, "pace each stream at this many samples/sec (0 = as fast as possible)")
@@ -62,7 +56,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err := run(ctx, replayConfig{
-		in: *in, raw: *raw, rate: *rate,
+		input:   input,
 		streams: *streams, repeat: *repeat, chunk: *chunk,
 		workers: *workers, queue: *queue, drop: *drop,
 		sps: *sps, compensation: compensation, quiet: *quiet,
@@ -74,9 +68,7 @@ func main() {
 }
 
 type replayConfig struct {
-	in           string
-	raw          bool
-	rate         float64
+	input        *cli.Input
 	streams      int
 	repeat       int
 	chunk        int
@@ -88,59 +80,8 @@ type replayConfig struct {
 	quiet        bool
 }
 
-// loadInput reads the capture: a trace file, a trace on stdin, or raw
-// complex64 IQ on stdin.
-func loadInput(cfg replayConfig) (*trace.Trace, error) {
-	if cfg.raw {
-		iq, err := readRawIQ(os.Stdin)
-		if err != nil {
-			return nil, err
-		}
-		return &trace.Trace{Kind: trace.KindIQ, SampleRate: cfg.rate, IQ: iq}, nil
-	}
-	switch cfg.in {
-	case "":
-		return nil, fmt.Errorf("need -in trace file (or -raw for stdin IQ)")
-	case "-":
-		return trace.Read(os.Stdin)
-	default:
-		return trace.Load(cfg.in)
-	}
-}
-
-// readRawIQ consumes interleaved little-endian complex64 pairs to EOF.
-func readRawIQ(r io.Reader) ([]complex128, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	var iq []complex128
-	buf := make([]byte, 8)
-	for {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			if errors.Is(err, io.EOF) {
-				return iq, nil
-			}
-			if errors.Is(err, io.ErrUnexpectedEOF) {
-				return nil, fmt.Errorf("raw input ends mid-sample (%d bytes over)", len(buf))
-			}
-			return nil, err
-		}
-		re := math.Float32frombits(binary.LittleEndian.Uint32(buf))
-		im := math.Float32frombits(binary.LittleEndian.Uint32(buf[4:]))
-		iq = append(iq, complex(float64(re), float64(im)))
-	}
-}
-
-func paramsForRate(rate float64) (core.Params, error) {
-	switch rate {
-	case 20e6:
-		return core.Params20(), nil
-	case 40e6:
-		return core.Params40(), nil
-	}
-	return core.Params{}, fmt.Errorf("sample rate %v unsupported (want 20e6 or 40e6)", rate)
-}
-
 func run(ctx context.Context, cfg replayConfig) error {
-	tr, err := loadInput(cfg)
+	tr, err := cfg.input.Load()
 	if err != nil {
 		return err
 	}
@@ -150,7 +91,7 @@ func run(ctx context.Context, cfg replayConfig) error {
 	if cfg.streams < 1 || cfg.repeat < 1 || cfg.chunk < 1 {
 		return fmt.Errorf("-streams, -repeat and -chunk must be ≥ 1")
 	}
-	p, err := paramsForRate(tr.SampleRate)
+	p, err := cli.ParamsForTrace(tr)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,179 @@
+package channel_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"symbee/internal/channel"
+	"symbee/internal/core"
+	"symbee/internal/wifi"
+)
+
+// composeConfig is the walking-sender-in-WiFi-traffic scenario: mobility
+// fading AND background interference active in one Medium, plus the
+// canonical carrier offset and padding — every independent impairment
+// the channel package models, composed.
+func composeConfig(p core.Params, mob *channel.MobilityConfig) channel.Config {
+	return channel.Config{
+		SampleRate: p.SampleRate,
+		SNRdB:      22,
+		FreqOffset: channel.DefaultFreqOffset,
+		Mobility:   mob,
+		Interference: channel.InterferenceConfig{
+			DutyCycle:     0.15,
+			BurstDuration: 300e-6,
+			INRdB:         2,
+		},
+		Pad: 1500,
+	}
+}
+
+func composeMobility() *channel.MobilityConfig {
+	mob := channel.MobilityPreset(1.5) // walking pace
+	return &mob
+}
+
+// transmitFrame pushes one SymBee frame through the medium and reports
+// whether it decodes.
+func transmitFrame(t *testing.T, med *channel.Medium, phy *core.Link, dec *core.Decoder, seq byte) bool {
+	t.Helper()
+	sig, err := phy.TransmitFrame(&core.Frame{Seq: seq, Data: []byte("compose!")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := med.Transmit(sig)
+	frame, err := dec.DecodeFrame(phy.Phases(capture))
+	if err != nil {
+		return false
+	}
+	return frame.Seq == seq
+}
+
+// TestMobilityInterferenceCompose runs the composed scenario end-to-end:
+// with walking-pace mobility and 15% duty-cycle WiFi interference active
+// simultaneously, the link still delivers most frames — the impairments
+// compose without breaking the decoder or each other.
+func TestMobilityInterferenceCompose(t *testing.T) {
+	p := core.Params20()
+	phy, err := core.NewLink(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.NewDecoder(p, wifi.CanonicalCompensation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med, err := channel.NewMedium(composeConfig(p, composeMobility()), rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frames = 20
+	delivered := 0
+	for i := 0; i < frames; i++ {
+		if transmitFrame(t, med, phy, dec, byte(i)) {
+			delivered++
+		}
+	}
+	t.Logf("composed mobility+interference: %d/%d delivered", delivered, frames)
+	if delivered < frames*3/4 {
+		t.Errorf("composed channel delivered %d/%d frames, want ≥ %d", delivered, frames, frames*3/4)
+	}
+	if delivered == frames {
+		// The blockage telegraph and interference bursts should cost
+		// something over 20 transmissions at walking pace; all-delivered
+		// is legal but worth flagging if the impairments silently became
+		// no-ops. Verified below by construction instead of by loss.
+		t.Log("note: composed channel delivered everything (seed-dependent)")
+	}
+}
+
+// TestComposeDeterministic pins the seeded-reproducibility contract with
+// both impairments enabled: the same seed yields the same capture, a
+// different seed a different one.
+func TestComposeDeterministic(t *testing.T) {
+	p := core.Params20()
+	phy, err := core.NewLink(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := phy.TransmitFrame(&core.Frame{Seq: 1, Data: []byte("determ")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := func(seed int64) []complex128 {
+		med, err := channel.NewMedium(composeConfig(p, composeMobility()), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return med.Transmit(sig)
+	}
+	a, b, c := capture(5), capture(5), capture(6)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different capture lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, captures diverge at sample %d", i)
+		}
+	}
+	same := true
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical captures")
+	}
+}
+
+// TestComposeImpairmentsAct verifies each composed impairment actually
+// modifies the capture: dropping mobility or interference from the same
+// seeded config changes the output, so neither is silently disabled by
+// the other's presence.
+func TestComposeImpairmentsAct(t *testing.T) {
+	p := core.Params20()
+	phy, err := core.NewLink(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := phy.TransmitFrame(&core.Frame{Seq: 2, Data: []byte("active")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capture := func(cfg channel.Config) []complex128 {
+		med, err := channel.NewMedium(cfg, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return med.Transmit(sig)
+	}
+	full := capture(composeConfig(p, composeMobility()))
+
+	noMob := composeConfig(p, nil)
+	noInf := composeConfig(p, composeMobility())
+	noInf.Interference = channel.InterferenceConfig{}
+
+	for _, tc := range []struct {
+		name string
+		got  []complex128
+	}{
+		{"without mobility", capture(noMob)},
+		{"without interference", capture(noInf)},
+	} {
+		if len(tc.got) != len(full) {
+			continue // different length already proves the impairment acts
+		}
+		same := true
+		for i := range full {
+			if full[i] != tc.got[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s the capture is identical: impairment is a no-op in composition", tc.name)
+		}
+	}
+}

@@ -230,7 +230,7 @@ func (d *Decoder) DecodeBits(phases []float64, n int) ([]byte, error) {
 // the same stream positions regardless of chunking, so this is
 // bit-identical to feeding the capture sample by sample.
 func (d *Decoder) DecodeFrame(phases []float64) (*Frame, error) {
-	m, err := d.newBatchMachine()
+	m, err := d.NewBatchMachine()
 	if err != nil {
 		return nil, err
 	}

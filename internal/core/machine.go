@@ -145,16 +145,26 @@ func (d *Decoder) NewFrameMachine() (*FrameMachine, error) {
 	}, nil
 }
 
-// newBatchMachine returns a machine with unbounded history — the
+// NewBatchMachine returns a machine with unbounded history — the
 // configuration under which it reproduces the historical whole-capture
-// decode exactly, including template reads arbitrarily far back.
-func (d *Decoder) newBatchMachine() (*FrameMachine, error) {
+// decode exactly, including template reads arbitrarily far back. The
+// link package's batch stack preset is built on it.
+func (d *Decoder) NewBatchMachine() (*FrameMachine, error) {
 	m, err := d.NewFrameMachine()
 	if err != nil {
 		return nil, err
 	}
 	m.retention = 0
 	return m, nil
+}
+
+// DecodeGateSpan returns, in phase values, the largest span a frame
+// decode attempt anchored at stream index 0 may read: the +BitPeriod
+// retry-shifted anchor plus a maximal frame body plus one stable
+// window. It is the machine's StateDecoding coverage gate; harnesses
+// use it to size the zero-phase pad that forces a pending decode.
+func DecodeGateSpan(p Params) int {
+	return (1+PreambleBits+maxFrameBits)*p.BitPeriod + p.StableLen
 }
 
 // State returns the machine's current stage.
@@ -254,7 +264,7 @@ func (m *FrameMachine) advance() {
 			m.state = StateDecoding
 			// Largest span any decode attempt may read: the +BitPeriod
 			// retry shifted anchor plus a maximal frame body.
-			m.needUpTo = anchor + (1+PreambleBits+maxFrameBits)*m.d.p.BitPeriod + m.d.p.StableLen
+			m.needUpTo = anchor + DecodeGateSpan(m.d.p)
 		case StateDecoding:
 			if m.n < m.needUpTo && !m.flushed {
 				return

@@ -1,0 +1,144 @@
+package link
+
+import "symbee/internal/core"
+
+// Event is one occurrence on one stream: a preamble lock, a decoded
+// frame, or a decode failure. It wraps core.StreamEvent with the stream
+// identity so multi-stream consumers (the pool, scenario harnesses) can
+// demultiplex.
+type Event struct {
+	Stream uint64
+	core.StreamEvent
+}
+
+// LayerStats is the per-layer accounting every stage reports through
+// the Layer contract: units in, units out, and failures. The unit is
+// the layer's natural quantum (IQ samples for the front-end, phase
+// values for phase layers and the frame machine, events for sinks).
+type LayerStats struct {
+	// Name identifies the layer ("frontend", "frame", "collector", ...).
+	Name string `json:"name"`
+	// In counts units consumed.
+	In uint64 `json:"in"`
+	// Out counts units produced (events emitted, for the frame layer
+	// and sinks).
+	Out uint64 `json:"out"`
+	// Errs counts processing failures.
+	Errs uint64 `json:"errs"`
+}
+
+// Layer is the contract every stage of a Stack satisfies. A layer is
+// owned by one goroutine (its stack); the typed Process method lives on
+// the stage kind (PhaseLayer, EventLayer — the front-end and frame
+// machine stages are built in, selected by Spec).
+type Layer interface {
+	// Name identifies the layer in stats and diagnostics.
+	Name() string
+	// Flush forces any buffered state downstream at end-of-stream.
+	Flush() error
+	// Close releases the layer's resources; a closed layer rejects
+	// further input.
+	Close() error
+	// Stats reports the layer's input/output accounting.
+	Stats() LayerStats
+}
+
+// PhaseLayer is a stage that transforms phase chunks between the
+// front-end and the frame machine — SFO resampling correction, phase
+// unwrap experiments, scenario-specific probes. The returned slice may
+// be in (in-place transform) or a layer-owned buffer valid until the
+// next call; it must not allocate per chunk in steady state.
+type PhaseLayer interface {
+	Layer
+	ProcessPhases(in []float64) ([]float64, error)
+}
+
+// EventLayer is a stage that consumes decode events at the top of the
+// stack: application sinks, ARQ delivery, coded-mode fallbacks,
+// per-sender accounting.
+type EventLayer interface {
+	Layer
+	OnEvent(ev Event) error
+}
+
+// Collector is the default application sink: it queues events for the
+// owner to Drain, reusing one backing array so the steady-state push
+// path stays allocation-free.
+type Collector struct {
+	pending []Event
+	stats   LayerStats
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{stats: LayerStats{Name: "collector"}}
+}
+
+// Name implements Layer.
+func (c *Collector) Name() string { return "collector" }
+
+// OnEvent implements EventLayer: the event is appended to the pending
+// queue.
+//
+//symbee:hotpath
+func (c *Collector) OnEvent(ev Event) error {
+	c.pending = append(c.pending, ev)
+	c.stats.In++
+	c.stats.Out++
+	return nil
+}
+
+// Drain returns the events collected since the last call. The returned
+// slice is the collector's internal queue and is reused: it stays valid
+// only until the next event lands. Consumers that buffer events across
+// pushes must copy the elements out (Frame pointers remain valid
+// indefinitely).
+func (c *Collector) Drain() []Event {
+	out := c.pending
+	c.pending = c.pending[:0]
+	return out
+}
+
+// Flush implements Layer; a collector holds nothing back.
+func (c *Collector) Flush() error { return nil }
+
+// Close implements Layer.
+func (c *Collector) Close() error { return nil }
+
+// Stats implements Layer.
+func (c *Collector) Stats() LayerStats { return c.stats }
+
+// Callback adapts a function to an EventLayer — the streaming pool's
+// OnEvent hook and test probes use it.
+type Callback struct {
+	fn    func(Event)
+	stats LayerStats
+}
+
+// NewCallback returns an event layer invoking fn for every event. A nil
+// fn yields a drop-everything sink.
+func NewCallback(fn func(Event)) *Callback {
+	return &Callback{fn: fn, stats: LayerStats{Name: "callback"}}
+}
+
+// Name implements Layer.
+func (c *Callback) Name() string { return "callback" }
+
+// OnEvent implements EventLayer.
+func (c *Callback) OnEvent(ev Event) error {
+	c.stats.In++
+	if c.fn != nil {
+		c.fn(ev)
+		c.stats.Out++
+	}
+	return nil
+}
+
+// Flush implements Layer.
+func (c *Callback) Flush() error { return nil }
+
+// Close implements Layer.
+func (c *Callback) Close() error { return nil }
+
+// Stats implements Layer.
+func (c *Callback) Stats() LayerStats { return c.stats }

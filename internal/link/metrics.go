@@ -1,0 +1,227 @@
+package link
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotone atomic event counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket latency/size histogram safe for
+// concurrent Observe. Bucket i counts observations ≤ bounds[i]; the
+// final implicit bucket counts everything larger. Stdlib only: atomics
+// over a fixed slice, no allocation on the observe path.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns a histogram with the given upper bounds. Bounds
+// are sorted and deduplicated, so any bound set yields a well-formed
+// histogram (one extra overflow bucket is added internally).
+func NewHistogram(bounds ...float64) *Histogram {
+	sorted := make([]float64, len(bounds))
+	copy(sorted, bounds)
+	sort.Float64s(sorted)
+	dedup := sorted[:0]
+	for i, b := range sorted {
+		if i == 0 || b > dedup[len(dedup)-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	return &Histogram{
+		bounds:  dedup,
+		buckets: make([]atomic.Uint64, len(dedup)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramBucket is one bucket of a histogram snapshot: the count of
+// observations ≤ Le (Le is +Inf for the overflow bucket).
+type HistogramBucket struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// MarshalJSON renders +Inf as the string "+Inf" (JSON has no Inf).
+func (b HistogramBucket) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Le    any    `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	a := alias{Le: b.Le, Count: b.Count}
+	if math.IsInf(b.Le, 1) {
+		a.Le = "+Inf"
+	}
+	return json.Marshal(a)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Mean    float64           `json:"mean"`
+	Buckets []HistogramBucket `json:"buckets"`
+}
+
+// Snapshot copies the histogram's current state. Concurrent observes
+// may land between bucket reads; totals are internally consistent
+// enough for monitoring (this is a metrics read, not a barrier).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sum.Load()),
+		Buckets: make([]HistogramBucket, len(h.buckets)),
+	}
+	for i := range h.buckets {
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets[i] = HistogramBucket{Le: le, Count: h.buckets[i].Load()}
+	}
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+	}
+	return s
+}
+
+// Metrics is the one stage-instrumentation registry of the link stack:
+// every pipeline configuration — batch, streaming pool, reliable ARQ,
+// multi-sender scenarios — reports into the same schema instead of
+// keeping per-subsystem copies. All fields are safe for concurrent use;
+// a single Metrics is shared by every worker of a pool. Latency
+// histograms are in nanoseconds.
+type Metrics struct {
+	// Ingestion.
+	ChunksIn  Counter // chunks accepted into the pipeline
+	SamplesIn Counter // IQ samples accepted
+	PhasesIn  Counter // phase values accepted directly (phase-kind input)
+	Drops     Counter // chunks rejected because a worker queue was full
+
+	// DSP / decode stages.
+	PhasesProduced Counter // phases produced by the front-end stage
+	Locks          Counter // preamble fold locks
+	FramesDecoded  Counter // frames that passed the checksum
+	FramesFailed   Counter // locks that failed to decode
+	StreamsOpened  Counter // distinct streams a worker has seen
+	StreamsFlushed Counter // streams flushed (end-of-stream markers)
+
+	// Reliability (ARQ) stage — incremented by internal/reliable
+	// sessions sharing the registry.
+	Retransmits   Counter // data frames sent again after a loss signal
+	Timeouts      Counter // retransmit timer expiries (silent flights)
+	Escalations   Counter // plain → Hamming-coded mode switches
+	Deescalations Counter // coded → plain mode switches after recovery
+	DupDrops      Counter // duplicate/out-of-order frames dropped at the receiver
+	AcksLost      Counter // acknowledgments lost on the reverse channel
+	FramesLost    Counter // data frames lost or corrupted by the channel
+
+	// Per-stage latency, nanoseconds per chunk.
+	PhaseNanos  *Histogram // IQ→phase front-end stage
+	DecodeNanos *Histogram // FrameMachine stage
+	ChunkNanos  *Histogram // whole chunk, queue-exit to done
+}
+
+// latencyBounds are the fixed histogram edges in nanoseconds:
+// 1 µs … 1 s in decades.
+func latencyBounds() []float64 {
+	return []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+}
+
+// NewMetrics returns a zeroed registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		PhaseNanos:  NewHistogram(latencyBounds()...),
+		DecodeNanos: NewHistogram(latencyBounds()...),
+		ChunkNanos:  NewHistogram(latencyBounds()...),
+	}
+}
+
+// Snapshot is the JSON-marshalable point-in-time state of the registry;
+// its field names are the pipeline's stable metrics schema (see
+// DESIGN.md).
+type Snapshot struct {
+	ChunksIn       uint64 `json:"chunks_in"`
+	SamplesIn      uint64 `json:"samples_in"`
+	PhasesIn       uint64 `json:"phases_in"`
+	Drops          uint64 `json:"drops"`
+	PhasesProduced uint64 `json:"phases_produced"`
+	Locks          uint64 `json:"locks"`
+	FramesDecoded  uint64 `json:"frames_decoded"`
+	FramesFailed   uint64 `json:"frames_failed"`
+	StreamsOpened  uint64 `json:"streams_opened"`
+	StreamsFlushed uint64 `json:"streams_flushed"`
+
+	Retransmits   uint64 `json:"retransmits"`
+	Timeouts      uint64 `json:"timeouts"`
+	Escalations   uint64 `json:"escalations"`
+	Deescalations uint64 `json:"deescalations"`
+	DupDrops      uint64 `json:"dup_drops"`
+	AcksLost      uint64 `json:"acks_lost"`
+	FramesLost    uint64 `json:"frames_lost"`
+
+	PhaseNanos  HistogramSnapshot `json:"phase_ns"`
+	DecodeNanos HistogramSnapshot `json:"decode_ns"`
+	ChunkNanos  HistogramSnapshot `json:"chunk_ns"`
+}
+
+// Snapshot captures the current state of every instrument.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		ChunksIn:       m.ChunksIn.Load(),
+		SamplesIn:      m.SamplesIn.Load(),
+		PhasesIn:       m.PhasesIn.Load(),
+		Drops:          m.Drops.Load(),
+		PhasesProduced: m.PhasesProduced.Load(),
+		Locks:          m.Locks.Load(),
+		FramesDecoded:  m.FramesDecoded.Load(),
+		FramesFailed:   m.FramesFailed.Load(),
+		StreamsOpened:  m.StreamsOpened.Load(),
+		StreamsFlushed: m.StreamsFlushed.Load(),
+		Retransmits:    m.Retransmits.Load(),
+		Timeouts:       m.Timeouts.Load(),
+		Escalations:    m.Escalations.Load(),
+		Deescalations:  m.Deescalations.Load(),
+		DupDrops:       m.DupDrops.Load(),
+		AcksLost:       m.AcksLost.Load(),
+		FramesLost:     m.FramesLost.Load(),
+		PhaseNanos:     m.PhaseNanos.Snapshot(),
+		DecodeNanos:    m.DecodeNanos.Snapshot(),
+		ChunkNanos:     m.ChunkNanos.Snapshot(),
+	}
+}
+
+// MarshalJSON renders the snapshot of the registry.
+func (m *Metrics) MarshalJSON() ([]byte, error) {
+	return json.Marshal(m.Snapshot())
+}

@@ -1,0 +1,380 @@
+package link
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"symbee/internal/channel"
+	"symbee/internal/core"
+	"symbee/internal/dsp"
+	"symbee/internal/wifi"
+)
+
+// MultiSenderConfig parameterizes a shared-medium scenario: N
+// independent ZigBee senders transmitting SymBee frames on one channel,
+// superposed into a single WiFi receiver capture.
+type MultiSenderConfig struct {
+	// Params is the receiver parameter set; the zero value means
+	// Params20.
+	Params core.Params
+	// Senders is the number of independent ZigBee transmitters (≥1).
+	Senders int
+	// FramesPerSender is how many frames each sender transmits (≥1).
+	FramesPerSender int
+	// Seed drives every random draw (gaps, impairments, noise). Equal
+	// seeds reproduce the scenario exactly.
+	Seed int64
+	// SNRdB is the per-sender signal-to-noise ratio before the gain
+	// spread is applied. The zero value means 20 dB.
+	SNRdB float64
+	// MeanGapAirtimes is each sender's mean inter-frame idle gap, as a
+	// multiple of one frame airtime (exponential holdoff — a Poisson-ish
+	// unslotted ALOHA offered load of 1/(1+gap) per sender). The zero
+	// value means 4.
+	MeanGapAirtimes float64
+	// CFOJitterHz spreads each sender's carrier offset uniformly in
+	// ±CFOJitterHz around channel.DefaultFreqOffset. Zero keeps all
+	// senders at the nominal offset.
+	CFOJitterHz float64
+	// SFOppm spreads each sender's sampling clock uniformly in ±SFOppm
+	// parts per million. Zero disables SFO.
+	SFOppm float64
+	// GainSpreadDB spreads each sender's receive power uniformly in
+	// ±GainSpreadDB around SNRdB (near-far effect). Zero makes all
+	// senders equally strong.
+	GainSpreadDB float64
+	// DataBytes is the frame payload size (1..core.MaxDataBytes); byte 0
+	// carries the sender identity. The zero value means 4.
+	DataBytes int
+	// ChunkSamples is the IQ chunk size pushed into the receive stack
+	// (the zero value means 4096), exercising the streaming path.
+	ChunkSamples int
+	// Metrics optionally shares a registry with the receive stack.
+	Metrics *Metrics
+}
+
+// SenderStats is one sender's delivery accounting.
+type SenderStats struct {
+	// Sender is the sender's identity (0-based; also frame Data[0]).
+	Sender int `json:"sender"`
+	// Sent is the number of frames transmitted.
+	Sent int `json:"sent"`
+	// Delivered is the number of frames the receiver decoded intact.
+	Delivered int `json:"delivered"`
+	// Collided is the number of transmissions whose airtime overlapped
+	// another sender's transmission.
+	Collided int `json:"collided"`
+	// CollidedDelivered counts collided transmissions that decoded
+	// anyway (capture effect under the gain spread).
+	CollidedDelivered int `json:"collided_delivered"`
+	// DeliveryRate is Delivered/Sent.
+	DeliveryRate float64 `json:"delivery_rate"`
+	// CollisionRate is Collided/Sent.
+	CollisionRate float64 `json:"collision_rate"`
+}
+
+// MultiSenderReport is the outcome of one shared-medium scenario run.
+type MultiSenderReport struct {
+	// Senders echoes the scenario width.
+	Senders int `json:"senders"`
+	// FramesPerSender echoes the per-sender load.
+	FramesPerSender int `json:"frames_per_sender"`
+	// Seed echoes the scenario seed.
+	Seed int64 `json:"seed"`
+	// DurationSec is the simulated capture length in seconds.
+	DurationSec float64 `json:"duration_sec"`
+	// Delivered is the total number of frames decoded intact.
+	Delivered int `json:"delivered"`
+	// Collisions is the total number of collided transmissions.
+	Collisions int `json:"collisions"`
+	// GoodputBps is aggregate delivered application data in bits per
+	// simulated second.
+	GoodputBps float64 `json:"goodput_bps"`
+	// CollisionRate is Collisions over total transmissions.
+	CollisionRate float64 `json:"collision_rate"`
+	// PerSender is each sender's accounting, ordered by sender id.
+	PerSender []SenderStats `json:"per_sender"`
+}
+
+// Multi-sender scenario errors.
+var (
+	errNoSenders = errors.New("link: multisender needs at least one sender and one frame")
+	errDataBytes = errors.New("link: multisender DataBytes out of range")
+)
+
+// transmission is one frame's placement on the shared timeline.
+type transmission struct {
+	sender  int
+	seq     int
+	start   int // sample index of the first signal sample
+	end     int // one past the last signal sample
+	sig     []complex128
+	gain    complex128
+	collide bool
+	decoded bool
+}
+
+// RunMultiSender simulates the shared-medium scenario: every sender
+// draws an independent schedule of frames with exponential idle gaps and
+// per-sender CFO/SFO/gain impairments; all transmissions are superposed
+// into one noisy capture; one streaming-preset Stack receives it; each
+// decoded frame is matched back to its sender through the identity byte.
+// The run is deterministic in Seed.
+func RunMultiSender(cfg MultiSenderConfig) (*MultiSenderReport, error) {
+	p := cfg.Params
+	if p.BitPeriod == 0 {
+		p = core.Params20()
+	}
+	if cfg.Senders < 1 || cfg.FramesPerSender < 1 {
+		return nil, errNoSenders
+	}
+	if cfg.DataBytes == 0 {
+		cfg.DataBytes = 4
+	}
+	if cfg.DataBytes < 1 || cfg.DataBytes > core.MaxDataBytes {
+		return nil, errDataBytes
+	}
+	if cfg.SNRdB == 0 {
+		cfg.SNRdB = 20
+	}
+	if cfg.MeanGapAirtimes == 0 {
+		cfg.MeanGapAirtimes = 4
+	}
+	if cfg.ChunkSamples <= 0 {
+		cfg.ChunkSamples = 4096
+	}
+	// The modulator is baseband-aligned; senders carry their own CFO, so
+	// the receiver compensates the canonical offset exactly as it would
+	// on a real channel pair.
+	phy, err := core.NewLink(p, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	txs, err := buildSchedules(cfg, phy)
+	if err != nil {
+		return nil, err
+	}
+	markCollisions(txs)
+	capture := superpose(cfg, p, txs)
+
+	if err := receiveAll(cfg, p, capture, txs); err != nil {
+		return nil, err
+	}
+	return report(cfg, p, capture, txs), nil
+}
+
+// senderSeed derives one sender's private RNG stream from the scenario
+// seed (splitmix-style so adjacent seeds do not correlate).
+func senderSeed(seed int64, sender int) int64 {
+	z := uint64(seed) + uint64(sender+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// buildSchedules draws every sender's frame placements and impaired
+// waveforms.
+func buildSchedules(cfg MultiSenderConfig, phy *core.Link) ([]*transmission, error) {
+	var txs []*transmission
+	for s := 0; s < cfg.Senders; s++ {
+		rng := rand.New(rand.NewSource(senderSeed(cfg.Seed, s)))
+		cfo := channel.DefaultFreqOffset
+		if cfg.CFOJitterHz > 0 {
+			cfo += (2*rng.Float64() - 1) * cfg.CFOJitterHz
+		}
+		sfo := 0.0
+		if cfg.SFOppm > 0 {
+			sfo = (2*rng.Float64() - 1) * cfg.SFOppm
+		}
+		snr := cfg.SNRdB
+		if cfg.GainSpreadDB > 0 {
+			snr += (2*rng.Float64() - 1) * cfg.GainSpreadDB
+		}
+		gain := complex(ampFromSNRdB(snr), 0)
+
+		pos := 0
+		for seq := 0; seq < cfg.FramesPerSender; seq++ {
+			data := make([]byte, cfg.DataBytes)
+			data[0] = byte(s)
+			if cfg.DataBytes > 1 {
+				data[1] = byte(seq)
+			}
+			payload, err := core.EncodeFrame(&core.Frame{Seq: byte(seq), Data: data})
+			if err != nil {
+				return nil, err
+			}
+			sig, err := phy.PayloadToSignal(payload)
+			if err != nil {
+				return nil, err
+			}
+			if sfo != 0 {
+				sig = channel.ApplySFO(sig, sfo)
+			}
+			if cfo != 0 {
+				channel.ApplyCFO(sig, cfo, phy.Params().SampleRate)
+			}
+			airtime := len(sig)
+			// Exponential idle gap before this frame, in airtime
+			// multiples; the first frame also starts after a random gap
+			// so sender 0 does not always open the capture.
+			gap := int(rng.ExpFloat64() * cfg.MeanGapAirtimes * float64(airtime))
+			pos += gap
+			txs = append(txs, &transmission{
+				sender: s,
+				seq:    seq,
+				start:  pos,
+				end:    pos + airtime,
+				sig:    sig,
+				gain:   gain,
+			})
+			pos += airtime
+		}
+	}
+	sort.Slice(txs, func(i, j int) bool {
+		if txs[i].start != txs[j].start {
+			return txs[i].start < txs[j].start
+		}
+		if txs[i].sender != txs[j].sender {
+			return txs[i].sender < txs[j].sender
+		}
+		return txs[i].seq < txs[j].seq
+	})
+	return txs, nil
+}
+
+// ampFromSNRdB converts a target SNR against unit noise to a linear
+// amplitude scale.
+func ampFromSNRdB(snrDB float64) float64 {
+	return math.Sqrt(dsp.FromDB(snrDB))
+}
+
+// markCollisions flags every transmission whose airtime interval
+// overlaps another transmission's. txs must be sorted by start.
+func markCollisions(txs []*transmission) {
+	maxEnd := -1
+	lastIdx := -1
+	for i, tx := range txs {
+		if lastIdx >= 0 && tx.start < maxEnd {
+			tx.collide = true
+			txs[lastIdx].collide = true
+		}
+		if tx.end > maxEnd {
+			maxEnd = tx.end
+			lastIdx = i
+		}
+	}
+}
+
+// superpose lays every impaired waveform onto one shared capture and
+// adds unit receiver noise. The capture gets a decode-gate pad after the
+// final transmission so the last frame's deferred decode fires.
+func superpose(cfg MultiSenderConfig, p core.Params, txs []*transmission) []complex128 {
+	total := 0
+	for _, tx := range txs {
+		if tx.end > total {
+			total = tx.end
+		}
+	}
+	// The phase stream trails the samples by Lag, so the decode-gate pad
+	// needs that much extra on top of the phase horizon.
+	pad := PadHorizon(p, 12) + p.Lag
+	capture := make([]complex128, total+pad)
+	for _, tx := range txs {
+		for i, v := range tx.sig {
+			capture[tx.start+i] += v * tx.gain
+		}
+	}
+	rng := rand.New(rand.NewSource(senderSeed(cfg.Seed, -1)))
+	channel.AddAWGN(capture, 1, rng)
+	return capture
+}
+
+// receiveAll runs the capture through one streaming-preset Stack in
+// chunks and matches decoded frames back to their transmissions.
+func receiveAll(cfg MultiSenderConfig, p core.Params, capture []complex128, txs []*transmission) error {
+	dec, err := core.NewDecoder(p, wifi.CanonicalCompensation)
+	if err != nil {
+		return err
+	}
+	st, err := NewStreaming(dec, 0, cfg.Metrics)
+	if err != nil {
+		return err
+	}
+	match := func(events []Event) {
+		for _, ev := range events {
+			if ev.Kind != core.EventFrame || len(ev.Frame.Data) == 0 {
+				continue
+			}
+			sender := int(ev.Frame.Data[0])
+			seq := int(ev.Frame.Seq)
+			for _, tx := range txs {
+				if tx.sender == sender && tx.seq == seq && !tx.decoded {
+					tx.decoded = true
+					break
+				}
+			}
+		}
+	}
+	for off := 0; off < len(capture); off += cfg.ChunkSamples {
+		end := off + cfg.ChunkSamples
+		if end > len(capture) {
+			end = len(capture)
+		}
+		if err := st.PushIQ(capture[off:end]); err != nil {
+			return err
+		}
+		match(st.Drain())
+	}
+	if err := st.Flush(); err != nil {
+		return err
+	}
+	match(st.Drain())
+	return nil
+}
+
+// report folds the per-transmission outcomes into the scenario report.
+func report(cfg MultiSenderConfig, p core.Params, capture []complex128, txs []*transmission) *MultiSenderReport {
+	per := make([]SenderStats, cfg.Senders)
+	for i := range per {
+		per[i].Sender = i
+	}
+	delivered, collisions := 0, 0
+	for _, tx := range txs {
+		st := &per[tx.sender]
+		st.Sent++
+		if tx.decoded {
+			st.Delivered++
+			delivered++
+		}
+		if tx.collide {
+			st.Collided++
+			collisions++
+			if tx.decoded {
+				st.CollidedDelivered++
+			}
+		}
+	}
+	for i := range per {
+		if per[i].Sent > 0 {
+			per[i].DeliveryRate = float64(per[i].Delivered) / float64(per[i].Sent)
+			per[i].CollisionRate = float64(per[i].Collided) / float64(per[i].Sent)
+		}
+	}
+	duration := float64(len(capture)) / p.SampleRate
+	total := cfg.Senders * cfg.FramesPerSender
+	rep := &MultiSenderReport{
+		Senders:         cfg.Senders,
+		FramesPerSender: cfg.FramesPerSender,
+		Seed:            cfg.Seed,
+		DurationSec:     duration,
+		Delivered:       delivered,
+		Collisions:      collisions,
+		GoodputBps:      float64(delivered*cfg.DataBytes*8) / duration,
+		CollisionRate:   float64(collisions) / float64(total),
+		PerSender:       per,
+	}
+	return rep
+}

@@ -1,0 +1,330 @@
+package link
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"symbee/internal/channel"
+	"symbee/internal/core"
+	"symbee/internal/wifi"
+)
+
+// testCapture modulates one framed message and returns the receiver-side
+// phase stream (baseband-aligned) plus the expected frame.
+func testCapture(t *testing.T, p core.Params, seq byte, data string) ([]float64, *core.Frame) {
+	t.Helper()
+	phy, err := core.NewLink(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &core.Frame{Seq: seq, Data: []byte(data)}
+	sig, err := phy.TransmitFrame(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return phy.Phases(sig), want
+}
+
+// testIQCapture modulates one framed message through the default noisy
+// channel scenario and returns the IQ capture plus the expected frame.
+func testIQCapture(t *testing.T, p core.Params, seq byte, data string) ([]complex128, *core.Frame) {
+	t.Helper()
+	phy, err := core.NewLink(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &core.Frame{Seq: seq, Data: []byte(data)}
+	sig, err := phy.TransmitFrame(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	med, err := channel.NewMedium(channel.Config{
+		SampleRate: p.SampleRate,
+		SNRdB:      15,
+		FreqOffset: channel.DefaultFreqOffset,
+		Pad:        2000,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return med.Transmit(sig), want
+}
+
+func frameEqual(a, b *core.Frame) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Seq != b.Seq || a.Flags != b.Flags || len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDecodeBatchMatchesDecodeFrame pins the tentpole equivalence: the
+// Stack batch preset and the historical core.Decoder.DecodeFrame are the
+// same decoder — identical frames on success, identical error classes on
+// failure.
+func TestDecodeBatchMatchesDecodeFrame(t *testing.T) {
+	p := core.Params20()
+	dec, err := core.NewDecoder(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, want := testCapture(t, p, 3, "hello link")
+	ref, refErr := dec.DecodeFrame(phases)
+	got, gotErr := DecodeBatch(dec, phases)
+	if refErr != nil || gotErr != nil {
+		t.Fatalf("decode errors: ref %v, stack %v", refErr, gotErr)
+	}
+	if !frameEqual(ref, got) || !frameEqual(got, want) {
+		t.Fatalf("frames differ: ref %+v, stack %+v, want %+v", ref, got, want)
+	}
+
+	// Pure noise: both paths must agree there is no preamble.
+	rng := rand.New(rand.NewSource(11))
+	noise := make([]float64, 40_000)
+	for i := range noise {
+		noise[i] = rng.NormFloat64() * 0.3
+	}
+	_, refErr = dec.DecodeFrame(noise)
+	_, gotErr = DecodeBatch(dec, noise)
+	if !errors.Is(refErr, core.ErrNoPreamble) || !errors.Is(gotErr, core.ErrNoPreamble) {
+		t.Fatalf("noise decode: ref %v, stack %v, want both ErrNoPreamble", refErr, gotErr)
+	}
+}
+
+// TestStreamingChunkInvariance pins the streaming preset's defining
+// property: the same capture decodes to the same frame regardless of how
+// it is chunked on the way in.
+func TestStreamingChunkInvariance(t *testing.T) {
+	p := core.Params20()
+	iq, want := testIQCapture(t, p, 9, "chunks")
+	dec, err := core.NewDecoder(p, wifi.CanonicalCompensation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 7, 64, 1024, len(iq)} {
+		st, err := NewStreaming(dec, 42, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var frames []*core.Frame
+		collect := func() {
+			for _, ev := range st.Drain() {
+				if ev.Stream != 42 {
+					t.Fatalf("chunk %d: event stream %d, want 42", chunk, ev.Stream)
+				}
+				if ev.Kind == core.EventFrame {
+					frames = append(frames, ev.Frame)
+				}
+			}
+		}
+		for off := 0; off < len(iq); off += chunk {
+			end := off + chunk
+			if end > len(iq) {
+				end = len(iq)
+			}
+			if err := st.PushIQ(iq[off:end]); err != nil {
+				t.Fatal(err)
+			}
+			collect()
+		}
+		if err := st.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		collect()
+		if len(frames) != 1 || !frameEqual(frames[0], want) {
+			t.Fatalf("chunk %d: got %d frame(s) %+v, want 1 × %+v", chunk, len(frames), frames, want)
+		}
+	}
+}
+
+// countingPhaseLayer is a pass-through PhaseLayer recording traffic.
+type countingPhaseLayer struct {
+	stats LayerStats
+}
+
+func (l *countingPhaseLayer) Name() string      { return "counting" }
+func (l *countingPhaseLayer) Flush() error      { return nil }
+func (l *countingPhaseLayer) Close() error      { return nil }
+func (l *countingPhaseLayer) Stats() LayerStats { return l.stats }
+func (l *countingPhaseLayer) ProcessPhases(in []float64) ([]float64, error) {
+	l.stats.In += uint64(len(in))
+	l.stats.Out += uint64(len(in))
+	return in, nil
+}
+
+// TestStackLayersAndStats exercises a custom assembly: a pass-through
+// phase layer and a callback sink, with per-layer accounting visible
+// through LayerStats.
+func TestStackLayersAndStats(t *testing.T) {
+	p := core.Params20()
+	phases, want := testCapture(t, p, 1, "layers")
+	dec, err := core.NewDecoder(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := &countingPhaseLayer{stats: LayerStats{Name: "counting"}}
+	var seen []Event
+	cb := NewCallback(func(ev Event) { seen = append(seen, ev) })
+	st, err := New(Spec{
+		Decoder: dec,
+		Batch:   true,
+		Stream:  5,
+		Phase:   []PhaseLayer{probe},
+		Sinks:   []EventLayer{cb},
+		Metrics: NewMetrics(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PushPhases(phases); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var frame *core.Frame
+	for _, ev := range st.Drain() {
+		if ev.Kind == core.EventFrame {
+			frame = ev.Frame
+		}
+	}
+	if !frameEqual(frame, want) {
+		t.Fatalf("collector frame %+v, want %+v", frame, want)
+	}
+	var cbFrame *core.Frame
+	for _, ev := range seen {
+		if ev.Stream != 5 {
+			t.Fatalf("callback event stream %d, want 5", ev.Stream)
+		}
+		if ev.Kind == core.EventFrame {
+			cbFrame = ev.Frame
+		}
+	}
+	if !frameEqual(cbFrame, want) {
+		t.Fatalf("callback frame %+v, want %+v", cbFrame, want)
+	}
+	stats := st.LayerStats()
+	byName := map[string]LayerStats{}
+	for _, ls := range stats {
+		byName[ls.Name] = ls
+	}
+	if got := byName["counting"].In; got != uint64(len(phases)) {
+		t.Errorf("phase layer saw %d phases, want %d", got, len(phases))
+	}
+	if byName["frame"].In != uint64(len(phases)) {
+		t.Errorf("frame layer saw %d phases, want %d", byName["frame"].In, len(phases))
+	}
+	if byName["frame"].Out == 0 || byName["collector"].In != byName["frame"].Out {
+		t.Errorf("event accounting: frame out %d, collector in %d",
+			byName["frame"].Out, byName["collector"].In)
+	}
+	if byName["callback"].In != byName["collector"].In {
+		t.Errorf("sink fan-out unequal: callback %d, collector %d",
+			byName["callback"].In, byName["collector"].In)
+	}
+}
+
+// TestStackResetReuse pins the harness pattern: one batch stack, Reset
+// between captures, no cross-capture state leakage.
+func TestStackResetReuse(t *testing.T) {
+	p := core.Params20()
+	dec, err := core.NewDecoder(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewBatch(dec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		phases, want := testCapture(t, p, byte(i), "capture")
+		st.Reset()
+		if err := st.PushPhases(phases); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		var frame *core.Frame
+		for _, ev := range st.Drain() {
+			if ev.Kind == core.EventFrame {
+				frame = ev.Frame
+			}
+		}
+		if !frameEqual(frame, want) {
+			t.Fatalf("capture %d: frame %+v, want %+v", i, frame, want)
+		}
+	}
+}
+
+// TestStackErrors pins the error surface: IQ into a phase-fed stack,
+// pushes after Close, and the nil-decoder spec.
+func TestStackErrors(t *testing.T) {
+	p := core.Params20()
+	dec, err := core.NewDecoder(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewBatch(dec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PushIQ(make([]complex128, 64)); !errors.Is(err, ErrNoFrontEnd) {
+		t.Errorf("PushIQ on phase-fed stack: %v, want ErrNoFrontEnd", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PushPhases(make([]float64, 16)); !errors.Is(err, ErrClosed) {
+		t.Errorf("push after Close: %v, want ErrClosed", err)
+	}
+	st.Reset()
+	if err := st.PushPhases(make([]float64, 16)); err != nil {
+		t.Errorf("push after Reset: %v, want nil", err)
+	}
+	if _, err := New(Spec{}); err == nil {
+		t.Error("New with nil decoder succeeded, want error")
+	}
+}
+
+// TestStackMetrics checks the one-registry contract: pushing a capture
+// through an instrumented stack lands in the shared counters.
+func TestStackMetrics(t *testing.T) {
+	p := core.Params20()
+	iq, _ := testIQCapture(t, p, 2, "metrics")
+	dec, err := core.NewDecoder(p, wifi.CanonicalCompensation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics()
+	st, err := NewStreaming(dec, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PushIQ(iq); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st.Drain()
+	snap := m.Snapshot()
+	if snap.SamplesIn != uint64(len(iq)) {
+		t.Errorf("SamplesIn %d, want %d", snap.SamplesIn, len(iq))
+	}
+	if snap.PhasesProduced == 0 {
+		t.Error("PhasesProduced is zero")
+	}
+	if snap.FramesDecoded != 1 {
+		t.Errorf("FramesDecoded %d, want 1", snap.FramesDecoded)
+	}
+}

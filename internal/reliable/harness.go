@@ -6,7 +6,7 @@ import (
 
 	"symbee/internal/channel"
 	"symbee/internal/core"
-	"symbee/internal/stream"
+	"symbee/internal/link"
 	"symbee/internal/zigbee"
 )
 
@@ -18,27 +18,28 @@ type SimConfig struct {
 	// Faults is the channel fault profile (see ProfileSoak/ProfileHarsh
 	// for ready-made ones; the zero value is a clean channel).
 	Faults channel.FaultConfig
-	// Stream selects the streaming receive path (internal/stream
-	// FrameMachine sessions) instead of the batch decoder.
+	// Stream selects the streaming receive path (bounded-history
+	// link.Stack sessions) instead of the whole-capture batch preset.
 	Stream bool
 	// Metrics optionally shares a registry; nil allocates a private one.
-	Metrics *stream.Metrics
+	Metrics *link.Metrics
 }
 
 // SimLink is a reliable.Transport that runs every frame through the
 // real SymBee PHY — modulator, fault-injected channel, WiFi
-// phase-extraction front end and either the batch decoder or the
-// streaming receiver — and the ARQ receive side. It exists so the
+// phase-extraction front end and a link.Stack receive pipeline (batch
+// or streaming preset) — and the ARQ receive side. It exists so the
 // protocol's retry, escalation and duplicate paths are exercised
 // against genuine decode failures rather than stubbed ones.
 type SimLink struct {
-	link    *core.Link
+	phy     *core.Link
 	dec     *core.Decoder
 	inj     *channel.FaultInjector
 	arq     *Receiver
-	srx     *stream.Receiver
+	stack   *link.Stack
+	batch   bool
 	pad     []float64
-	metrics *stream.Metrics
+	metrics *link.Metrics
 }
 
 // NewSimLink builds the simulated link.
@@ -47,46 +48,51 @@ func NewSimLink(cfg SimConfig) (*SimLink, error) {
 	if p.BitPeriod == 0 {
 		p = core.Params20()
 	}
-	link, err := core.NewLink(p, 0)
+	phy, err := core.NewLink(p, 0)
 	if err != nil {
 		return nil, fmt.Errorf("reliable: %w", err)
 	}
 	m := cfg.Metrics
 	if m == nil {
-		m = stream.NewMetrics()
+		m = link.NewMetrics()
 	}
 	l := &SimLink{
-		link:    link,
-		dec:     link.Decoder(),
+		phy:     phy,
+		dec:     phy.Decoder(),
 		inj:     channel.NewFaultInjector(cfg.Faults),
 		arq:     NewReceiver(m),
+		batch:   !cfg.Stream,
 		metrics: m,
 	}
 	if cfg.Stream {
-		l.srx, err = stream.NewReceiverFromDecoder(l.dec, m)
+		l.stack, err = link.NewReliable(l.dec, m)
 		if err != nil {
 			return nil, fmt.Errorf("reliable: %w", err)
 		}
 		// The FrameMachine defers its decode until a max-size frame
 		// could have ended; zero padding after each capture opens that
 		// gate without risking a false lock (zero phases fold to zero,
-		// far below the capture threshold).
-		need := (1+core.PreambleBits+maxFrameBits())*p.BitPeriod + p.StableLen + anchorSlack*p.BitPeriod
-		l.pad = make([]float64, need)
+		// far below the capture threshold). anchorSlack bounds how deep
+		// into a capture the preamble anchor can sit.
+		l.pad = make([]float64, link.PadHorizon(p, anchorSlack))
+	} else {
+		// Batch path: one whole-capture stack, reset per capture —
+		// identical semantics to the historical per-capture
+		// Decoder.DecodeFrame, without rebuilding the machine each time.
+		l.stack, err = link.NewBatch(l.dec, m)
+		if err != nil {
+			return nil, fmt.Errorf("reliable: %w", err)
+		}
 	}
 	return l, nil
 }
-
-// maxFrameBits mirrors the FrameMachine's decode-gate bound: the
-// largest on-air frame body in SymBee bits.
-func maxFrameBits() int { return core.HeaderBits + 8*core.MaxDataBytes + core.CRCBits }
 
 // anchorSlack bounds, in bit periods, how deep into a capture the
 // preamble anchor can sit (ZigBee SHR+PHR plus front-end lag).
 const anchorSlack = 12
 
 // Metrics returns the link's registry.
-func (l *SimLink) Metrics() *stream.Metrics { return l.metrics }
+func (l *SimLink) Metrics() *link.Metrics { return l.metrics }
 
 // Receiver returns the ARQ receive side (for inspecting expectations
 // and duplicate counts in tests).
@@ -113,7 +119,7 @@ func (l *SimLink) Send(f *core.Frame, coded bool) (*Ack, time.Duration, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	sig, err := l.link.PayloadToSignal(payload)
+	sig, err := l.phy.PayloadToSignal(payload)
 	if err != nil {
 		return nil, airtime, err
 	}
@@ -135,46 +141,58 @@ func (l *SimLink) Send(f *core.Frame, coded bool) (*Ack, time.Duration, error) {
 	return &ack, airtime, nil
 }
 
-// receive runs the capture through the configured receive path and
+// receive runs the capture through the configured stack preset and
 // trial-decodes: plain first, then synchronized Hamming-coded. The
 // receiver never learns the sender's mode — a coded frame fails the
 // plain version check immediately (its first coded nibble parses as
 // version 4), which is what makes negotiation-free escalation work.
 func (l *SimLink) receive(capture []complex128) *core.Frame {
-	phases := l.link.Phases(capture)
-	if l.srx == nil {
-		if f, err := l.dec.DecodeFrame(phases); err == nil {
-			return f
+	phases := l.phy.Phases(capture)
+	if l.batch {
+		l.stack.Reset()
+		l.stack.PushPhases(phases)
+		l.stack.Flush()
+		frame, _ := terminalEvent(l.stack.Drain())
+		if frame == nil {
+			// Any plain failure — including a missing preamble, which
+			// emits no event at all — triggers the coded trial, exactly
+			// as the historical per-capture DecodeFrame error did.
+			frame, _ = DecodeCodedPhases(l.dec, phases)
 		}
-		f, _ := DecodeCodedPhases(l.dec, phases)
-		return f
+		return frame
 	}
-	l.srx.PushPhases(phases)
+	l.stack.PushPhases(phases)
 	if n := len(l.pad) - len(phases); n > 0 {
-		l.srx.PushPhases(l.pad[:n])
+		l.stack.PushPhases(l.pad[:n])
 	}
-	var frame *core.Frame
-	decodeErr := false
-	for _, ev := range l.srx.Drain() {
-		switch ev.Kind {
-		case core.EventFrame:
-			frame = ev.Frame
-		case core.EventDecodeError:
-			decodeErr = true
-		}
-	}
-	if frame == nil && decodeErr {
+	frame, failed := terminalEvent(l.stack.Drain())
+	if frame == nil && failed {
 		frame, _ = DecodeCodedPhases(l.dec, phases)
 	}
 	return frame
 }
 
+// terminalEvent scans drained stack events for the capture's outcome:
+// the decoded frame, or whether a locked preamble failed to decode.
+func terminalEvent(events []Event) (frame *core.Frame, failed bool) {
+	for _, ev := range events {
+		switch ev.Kind {
+		case core.EventFrame:
+			frame = ev.Frame
+		case core.EventDecodeError:
+			failed = true
+		}
+	}
+	return frame, failed
+}
+
+// Event aliases the link stack event consumed by the harness.
+type Event = link.Event
+
 // Close flushes the streaming receive path, if any.
 func (l *SimLink) Close() {
-	if l.srx != nil {
-		l.srx.Flush()
-		l.srx.Drain()
-	}
+	l.stack.Flush()
+	l.stack.Drain()
 }
 
 // FrameAirtime is the forward ZigBee airtime of one SymBee frame

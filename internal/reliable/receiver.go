@@ -2,7 +2,7 @@ package reliable
 
 import (
 	"symbee/internal/core"
-	"symbee/internal/stream"
+	"symbee/internal/link"
 )
 
 // Ack is the cumulative acknowledgment carried on the WiFi→ZigBee
@@ -22,12 +22,12 @@ type Receiver struct {
 	asm      core.Reassembler
 	msgs     [][]byte
 	dups     int
-	metrics  *stream.Metrics
+	metrics  *link.Metrics
 }
 
 // NewReceiver returns an ARQ receiver expecting sequence 0. The metrics
 // registry is optional; when set, duplicate drops are counted there.
-func NewReceiver(m *stream.Metrics) *Receiver {
+func NewReceiver(m *link.Metrics) *Receiver {
 	return &Receiver{metrics: m}
 }
 

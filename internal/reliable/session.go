@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"symbee/internal/core"
-	"symbee/internal/stream"
+	"symbee/internal/link"
 )
 
 // Sentinel errors of the reliability layer. The root package re-exports
@@ -67,7 +67,7 @@ type Config struct {
 	// Metrics optionally shares a stream registry; the session
 	// increments the ARQ counters (Retransmits, Timeouts, Escalations,
 	// Deescalations).
-	Metrics *stream.Metrics
+	Metrics *link.Metrics
 }
 
 func (c Config) withDefaults() Config {
@@ -181,7 +181,7 @@ type Session struct {
 	clock   Clock
 	rng     *rand.Rand
 	m       *core.Messenger
-	metrics *stream.Metrics
+	metrics *link.Metrics
 	coded   bool
 }
 

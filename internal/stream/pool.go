@@ -57,8 +57,9 @@ type Config struct {
 
 // Pool is the sharded streaming receiver: N worker goroutines, each
 // owning the sessions of the streams sharded to it, fed by bounded
-// channels. Stream state is touched only by its owning worker, so the
-// decode hot path takes no locks; the only synchronization is the
+// channels. Each session is one streaming-preset link.Stack (wrapped as
+// a Receiver). Stream state is touched only by its owning worker, so
+// the decode hot path takes no locks; the only synchronization is the
 // channel handoff and the atomic metrics.
 type Pool struct {
 	cfg     Config
@@ -223,7 +224,7 @@ func (w *worker) process(c Chunk) {
 			w.pool.metrics.Drops.Add(1)
 			return
 		}
-		r.id = c.Stream
+		r.setStream(c.Stream)
 		w.sessions[c.Stream] = r
 		w.pool.metrics.StreamsOpened.Add(1)
 	}

@@ -1,32 +1,24 @@
 package stream
 
 import (
-	"time"
-
 	"symbee/internal/core"
-	"symbee/internal/dsp"
+	"symbee/internal/link"
 )
 
 // Event is one occurrence on one stream: a preamble lock, a decoded
-// frame, or a decode failure. It wraps core.StreamEvent with the stream
-// identity so pool consumers can demultiplex.
-type Event struct {
-	Stream uint64
-	core.StreamEvent
-}
+// frame, or a decode failure. It is the link stack's event type —
+// core.StreamEvent wrapped with the stream identity so pool consumers
+// can demultiplex.
+type Event = link.Event
 
-// Receiver is the complete per-stream receive chain: the incremental
-// IQ→phase front-end feeding a per-stream FrameMachine. It accepts IQ
-// or phase chunks of any size and emits events exactly as a batch
-// decode of the concatenated stream would. A Receiver is owned by one
-// goroutine (its pool worker); it is not safe for concurrent use.
+// Receiver is the complete per-stream receive chain: the streaming
+// preset of the link stack (incremental IQ→phase front-end feeding a
+// bounded-history FrameMachine). It accepts IQ or phase chunks of any
+// size and emits events exactly as a batch decode of the concatenated
+// stream would. A Receiver is owned by one goroutine (its pool worker);
+// it is not safe for concurrent use.
 type Receiver struct {
-	id      uint64
-	phaser  *dsp.PhaseDiffStreamer
-	machine *core.FrameMachine
-	metrics *Metrics
-	scratch []float64
-	pending []Event
+	stack *link.Stack
 }
 
 // NewReceiver builds a single-stream receiver. metrics may be nil for
@@ -40,89 +32,32 @@ func NewReceiver(p core.Params, compensation float64, metrics *Metrics) (*Receiv
 }
 
 // NewReceiverFromDecoder wraps an existing decoder (useful when many
-// receivers share one template/threshold configuration).
+// receivers share one template/threshold configuration — pool shards
+// do).
 func NewReceiverFromDecoder(d *core.Decoder, metrics *Metrics) (*Receiver, error) {
-	phaser, err := dsp.NewPhaseDiffStreamer(d.Params().Lag)
+	stack, err := link.NewStreaming(d, 0, metrics)
 	if err != nil {
 		return nil, err
 	}
-	machine, err := d.NewFrameMachine()
-	if err != nil {
-		return nil, err
-	}
-	return &Receiver{
-		phaser:  phaser,
-		machine: machine,
-		metrics: metrics,
-	}, nil
+	return &Receiver{stack: stack}, nil
 }
+
+// setStream retags the receiver's events with the stream identity.
+func (r *Receiver) setStream(id uint64) { r.stack.SetStream(id) }
 
 // PushIQ consumes a chunk of IQ samples: the lag-ring front-end turns
 // them into phases, which feed the frame machine. Pushing into a
 // flushed receiver reports core.ErrFlushed.
-func (r *Receiver) PushIQ(iq []complex128) error {
-	var start time.Time
-	if r.metrics != nil {
-		start = wallNow()
-	}
-	r.scratch = r.phaser.Process(iq, r.scratch[:0])
-	var mid time.Time
-	if r.metrics != nil {
-		mid = wallNow()
-		r.metrics.SamplesIn.Add(uint64(len(iq)))
-		r.metrics.PhasesProduced.Add(uint64(len(r.scratch)))
-		r.metrics.PhaseNanos.Observe(float64(mid.Sub(start)))
-	}
-	err := r.machine.PushChunk(r.scratch)
-	if r.metrics != nil {
-		r.metrics.DecodeNanos.Observe(float64(wallNow().Sub(mid)))
-	}
-	r.account()
-	return err
-}
+func (r *Receiver) PushIQ(iq []complex128) error { return r.stack.PushIQ(iq) }
 
 // PushPhases consumes a chunk of already-computed phase values (a
 // KindPhase trace, or an external front-end). Pushing into a flushed
 // receiver reports core.ErrFlushed.
-func (r *Receiver) PushPhases(phases []float64) error {
-	var start time.Time
-	if r.metrics != nil {
-		start = wallNow()
-	}
-	err := r.machine.PushChunk(phases)
-	if r.metrics != nil {
-		r.metrics.PhasesIn.Add(uint64(len(phases)))
-		r.metrics.DecodeNanos.Observe(float64(wallNow().Sub(start)))
-	}
-	r.account()
-	return err
-}
+func (r *Receiver) PushPhases(phases []float64) error { return r.stack.PushPhases(phases) }
 
 // Flush ends the stream, forcing any pending decode with the data at
 // hand.
-func (r *Receiver) Flush() {
-	r.machine.Flush()
-	r.account()
-}
-
-// account moves freshly produced machine events into the pending queue,
-// tagging them with the stream ID and folding counts into the shared
-// metrics exactly once per event.
-func (r *Receiver) account() {
-	for _, ev := range r.machine.Events() {
-		if r.metrics != nil {
-			switch ev.Kind {
-			case core.EventLock:
-				r.metrics.Locks.Add(1)
-			case core.EventFrame:
-				r.metrics.FramesDecoded.Add(1)
-			case core.EventDecodeError:
-				r.metrics.FramesFailed.Add(1)
-			}
-		}
-		r.pending = append(r.pending, Event{Stream: r.id, StreamEvent: ev})
-	}
-}
+func (r *Receiver) Flush() { r.stack.Flush() }
 
 // Drain returns the events produced since the last call, tagged with
 // the receiver's stream ID. The returned slice is the receiver's
@@ -130,14 +65,14 @@ func (r *Receiver) account() {
 // PushIQ/PushPhases/Flush on this receiver. Consumers that buffer
 // events across pushes must copy the elements out (Frame pointers
 // remain valid indefinitely).
-func (r *Receiver) Drain() []Event {
-	out := r.pending
-	r.pending = r.pending[:0]
-	return out
-}
+func (r *Receiver) Drain() []Event { return r.stack.Drain() }
 
 // State returns the underlying machine stage (for diagnostics).
-func (r *Receiver) State() core.MachineState { return r.machine.State() }
+func (r *Receiver) State() core.MachineState { return r.stack.State() }
 
 // Buffered returns the machine's retained history length in phases.
-func (r *Receiver) Buffered() int { return r.machine.Buffered() }
+func (r *Receiver) Buffered() int { return r.stack.Buffered() }
+
+// LayerStats reports the per-layer accounting of the underlying stack
+// (front-end, frame machine, sinks), bottom-up.
+func (r *Receiver) LayerStats() []link.LayerStats { return r.stack.LayerStats() }

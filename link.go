@@ -1,0 +1,32 @@
+package symbee
+
+import "symbee/internal/link"
+
+// Link-stack re-exports: the layered receive pipeline of internal/link
+// through the public surface. Every receive path in this repository —
+// the batch decode, the streaming pool sessions and the reliable
+// harness — is one configuration of the same Stack.
+type (
+	// Stack is the composed receive pipeline: optional IQ front end →
+	// phase layers → frame machine → event sinks.
+	Stack = link.Stack
+	// StackSpec configures a custom Stack assembly.
+	StackSpec = link.Spec
+	// LayerStats is one pipeline layer's in/out/error accounting.
+	LayerStats = link.LayerStats
+)
+
+var (
+	// NewStack assembles a custom pipeline from a spec.
+	NewStack = link.New
+	// NewBatchStack is the whole-capture preset: phase-fed, unbounded
+	// history, bit-identical to the historical Decoder.DecodeFrame.
+	NewBatchStack = link.NewBatch
+	// NewStreamingStack is the bounded-history incremental preset used
+	// by pool sessions (IQ front end included).
+	NewStreamingStack = link.NewStreaming
+	// DecodeBatch runs one whole capture of phase values through a batch
+	// stack and returns the first decoded frame — the Stack form of
+	// Decoder.DecodeFrame.
+	DecodeBatch = link.DecodeBatch
+)

@@ -2,9 +2,10 @@
 # Repo-wide verification: formatting gate, build, vet, the project's own
 # static-analysis suite (symbeevet), full test suite, the panic gate for
 # library code, then the race detector over the concurrency-bearing
-# packages (the streaming pipeline, the decoder state machine, the ARQ
-# layer and the channel simulator it drives). CI runs this same script,
-# so a green local run means a green check job.
+# packages (the streaming pipeline, the decoder state machine, the link
+# stack, the ARQ layer and the channel simulator it drives), and the
+# link-stack golden-equivalence gate. CI runs this same script, so a
+# green local run means a green check job.
 set -eux
 cd "$(dirname "$0")/.."
 test -z "$(gofmt -l .)" || { gofmt -l .; echo "gofmt: files above need formatting"; exit 1; }
@@ -16,7 +17,12 @@ go test ./...
 # bounded to two seeds here: one seeded 4 KiB transfer costs ~1 min
 # under the race detector, and the full 100-seed acceptance sweep runs
 # race-free in CI's dedicated soak job.
-RELIABLE_SOAK_RUNS=2 go test -race -timeout 15m ./internal/stream/... ./internal/core/... ./internal/reliable/... ./internal/channel/...
+RELIABLE_SOAK_RUNS=2 go test -race -timeout 15m ./internal/stream/... ./internal/core/... ./internal/reliable/... ./internal/channel/... ./internal/link/...
+# Link-stack equivalence: the committed golden fixtures must decode
+# byte-identically through the reference batch entrypoint and every
+# Stack configuration at every ingest chunk size, and the warm ingest
+# path must stay allocation-free (DESIGN.md §11).
+go test ./internal/link/ -run 'TestGoldenTraceEquivalence|TestStreamingChunkInvariance|TestStackSteadyStateZeroAlloc' -count=1
 # Library code reports errors, it does not panic: the only panic( calls
 # allowed outside tests are the vet suite's own fixtures/doc strings.
 panics="$(grep -rn 'panic(' --include='*.go' cmd internal examples *.go | grep -v _test.go | grep -v '^internal/vet/' || true)"
