@@ -13,6 +13,7 @@
 //	symbeebench -kernel -kernel-out BENCH_kernel.json -kernel-baseline BENCH_kernel.json
 //	symbeebench -reliable -reliable-out BENCH_reliable.json
 //	symbeebench -multisender -multisender-out BENCH_multisender.json
+//	symbeebench -density -density-out BENCH_density.json
 package main
 
 import (
@@ -54,8 +55,28 @@ func main() {
 		msOut    = flag.String("multisender-out", "BENCH_multisender.json", "file for the multi-sender JSON artifact (\"\" = don't write)")
 		msFrames = flag.Int("multisender-frames", 8, "frames each sender transmits")
 		msGap    = flag.Float64("multisender-gap", 2, "mean inter-frame gap in airtime multiples")
+
+		densityBench  = flag.Bool("density", false, "sweep the event-driven shared medium over large sender populations")
+		densityOut    = flag.String("density-out", "BENCH_density.json", "file for the density sweep JSON artifact (\"\" = don't write)")
+		densityFrames = flag.Int("density-frames", 4, "frames each sender transmits in the density sweep")
+		densityGap    = flag.Float64("density-gap", 4, "mean inter-frame gap in airtime multiples for the density sweep")
+		densityWidths = flag.String("density-widths", "8,64,256,1024", "comma-separated sender populations to sweep")
 	)
 	flag.Parse()
+	if *densityBench {
+		widths, err := cli.ParseIntList(*densityWidths)
+		if err == nil {
+			if *short {
+				widths = shortWidths(widths)
+			}
+			err = runDensityBench(*seed, *densityFrames, *densityGap, widths, *densityOut)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "symbeebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *msBench {
 		if err := runMultiSenderBench(*seed, *msFrames, *msGap, *msOut); err != nil {
 			fmt.Fprintln(os.Stderr, "symbeebench:", err)

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"symbee/internal/dsp"
+	"symbee/internal/splitmix"
 )
 
 // FaultConfig describes a deterministic fault profile for link-level
@@ -64,12 +65,16 @@ type FaultInjector struct {
 	drifts int
 }
 
-// NewFaultInjector returns an injector for the profile.
+// NewFaultInjector returns an injector for the profile. The jam-noise
+// stream is split from the schedule seed through the repo-wide
+// splitmix convention (stream −1 = noise), so the injector, the
+// shared-medium simulator and the multi-sender scenario all derive
+// their side streams the same way.
 func NewFaultInjector(cfg FaultConfig) *FaultInjector {
 	return &FaultInjector{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		noise: rand.New(rand.NewSource(cfg.Seed ^ 0x6A09E667F3BCC908)),
+		noise: splitmix.New(cfg.Seed, splitmix.NoiseStream),
 	}
 }
 

@@ -16,6 +16,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"symbee/internal/core"
 	"symbee/internal/trace"
@@ -110,6 +112,27 @@ func ReadRawIQ(r io.Reader) ([]complex128, error) {
 		im := math.Float32frombits(binary.LittleEndian.Uint32(buf[4:]))
 		iq = append(iq, complex(float64(re), float64(im)))
 	}
+}
+
+// ParseIntList parses a comma-separated list of positive integers
+// ("8,64,256") — the spelling sweep-width flags share.
+func ParseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad list entry %q in %q", part, s)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("non-positive list entry %d in %q", v, s)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("empty int list")
+	}
+	return out, nil
 }
 
 // RegisterSeed adds the standard -seed flag (default 1, the value every

@@ -145,3 +145,33 @@ func TestWriteJSON(t *testing.T) {
 		t.Fatalf("round-trip: %v err=%v", got, err)
 	}
 }
+
+func TestParseIntList(t *testing.T) {
+	good := map[string][]int{
+		"8":             {8},
+		"8,64,256,1024": {8, 64, 256, 1024},
+		" 8, 64 ":       {8, 64},
+	}
+	for in, want := range good {
+		got, err := ParseIntList(in)
+		if err != nil {
+			t.Errorf("ParseIntList(%q): %v", in, err)
+			continue
+		}
+		if len(got) != len(want) {
+			t.Errorf("ParseIntList(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("ParseIntList(%q) = %v, want %v", in, got, want)
+				break
+			}
+		}
+	}
+	for _, in := range []string{"", "8,,64", "a", "8,-1", "0"} {
+		if got, err := ParseIntList(in); err == nil {
+			t.Errorf("ParseIntList(%q) = %v, want error", in, got)
+		}
+	}
+}

@@ -2,19 +2,23 @@ package link
 
 import (
 	"errors"
-	"math"
-	"math/rand"
-	"sort"
+	"fmt"
 
-	"symbee/internal/channel"
 	"symbee/internal/core"
-	"symbee/internal/dsp"
+	"symbee/internal/medium"
 	"symbee/internal/wifi"
 )
 
-// MultiSenderConfig parameterizes a shared-medium scenario: N
-// independent ZigBee senders transmitting SymBee frames on one channel,
-// superposed into a single WiFi receiver capture.
+// MultiSenderConfig parameterizes the legacy shared-medium scenario
+// entry point: N independent ZigBee senders transmitting SymBee frames
+// on one channel into a single WiFi receiver.
+//
+// Legacy quirk, kept for compatibility: SNRdB and MeanGapAirtimes use
+// their zero values as sentinels (0 means "default": 20 dB and 4
+// airtimes respectively), so a genuine 0 dB or zero-gap scenario is
+// unrepresentable through this type. New code should build a
+// medium.Config (which takes every field literally, starting from
+// medium.Defaults()) and call RunMedium instead.
 type MultiSenderConfig struct {
 	// Params is the receiver parameter set; the zero value means
 	// Params20.
@@ -27,12 +31,13 @@ type MultiSenderConfig struct {
 	// seeds reproduce the scenario exactly.
 	Seed int64
 	// SNRdB is the per-sender signal-to-noise ratio before the gain
-	// spread is applied. The zero value means 20 dB.
+	// spread is applied. The zero value means 20 dB (see the legacy
+	// quirk above).
 	SNRdB float64
 	// MeanGapAirtimes is each sender's mean inter-frame idle gap, as a
 	// multiple of one frame airtime (exponential holdoff — a Poisson-ish
 	// unslotted ALOHA offered load of 1/(1+gap) per sender). The zero
-	// value means 4.
+	// value means 4 (see the legacy quirk above).
 	MeanGapAirtimes float64
 	// CFOJitterHz spreads each sender's carrier offset uniformly in
 	// ±CFOJitterHz around channel.DefaultFreqOffset. Zero keeps all
@@ -98,283 +103,128 @@ type MultiSenderReport struct {
 	PerSender []SenderStats `json:"per_sender"`
 }
 
-// Multi-sender scenario errors.
-var (
-	errNoSenders = errors.New("link: multisender needs at least one sender and one frame")
-	errDataBytes = errors.New("link: multisender DataBytes out of range")
-)
+// errNoSenders keeps the legacy validation error for the wrapper's
+// pre-checks (the medium package validates everything else).
+var errNoSenders = errors.New("link: multisender needs at least one sender and one frame")
 
-// transmission is one frame's placement on the shared timeline.
-type transmission struct {
-	sender  int
-	seq     int
-	start   int // sample index of the first signal sample
-	end     int // one past the last signal sample
-	sig     []complex128
-	gain    complex128
-	collide bool
-	decoded bool
-}
-
-// RunMultiSender simulates the shared-medium scenario: every sender
-// draws an independent schedule of frames with exponential idle gaps and
-// per-sender CFO/SFO/gain impairments; all transmissions are superposed
-// into one noisy capture; one streaming-preset Stack receives it; each
-// decoded frame is matched back to its sender through the identity byte.
-// The run is deterministic in Seed.
+// RunMultiSender simulates the shared-medium scenario through the
+// event-driven medium engine: every sender draws an independent
+// schedule of frames with exponential idle gaps and per-sender
+// CFO/SFO/gain impairments; the superposed noisy capture is synthesized
+// lazily window-by-window (internal/medium) and fed into one
+// streaming-preset Stack; each decoded frame is matched back to its
+// sender through the identity byte. The run is deterministic in Seed
+// and reproduces the historical dense-superposition implementation
+// bit-for-bit.
 func RunMultiSender(cfg MultiSenderConfig) (*MultiSenderReport, error) {
-	p := cfg.Params
-	if p.BitPeriod == 0 {
-		p = core.Params20()
-	}
 	if cfg.Senders < 1 || cfg.FramesPerSender < 1 {
 		return nil, errNoSenders
 	}
-	if cfg.DataBytes == 0 {
-		cfg.DataBytes = 4
+	mc := medium.Defaults()
+	if cfg.Params.BitPeriod != 0 {
+		mc.Params = cfg.Params
 	}
-	if cfg.DataBytes < 1 || cfg.DataBytes > core.MaxDataBytes {
-		return nil, errDataBytes
+	mc.Senders = cfg.Senders
+	mc.FramesPerSender = cfg.FramesPerSender
+	mc.Seed = cfg.Seed
+	// Legacy sentinel mapping: the zero values of SNRdB,
+	// MeanGapAirtimes, DataBytes and ChunkSamples mean "default", so 0
+	// dB and zero-gap scenarios need medium.Config directly.
+	if cfg.SNRdB != 0 {
+		mc.SNRdB = cfg.SNRdB
 	}
-	if cfg.SNRdB == 0 {
-		cfg.SNRdB = 20
+	if cfg.MeanGapAirtimes != 0 {
+		mc.MeanGapAirtimes = cfg.MeanGapAirtimes
 	}
-	if cfg.MeanGapAirtimes == 0 {
-		cfg.MeanGapAirtimes = 4
+	if cfg.DataBytes != 0 {
+		mc.DataBytes = cfg.DataBytes
 	}
-	if cfg.ChunkSamples <= 0 {
-		cfg.ChunkSamples = 4096
+	if cfg.ChunkSamples > 0 {
+		mc.ChunkSamples = cfg.ChunkSamples
 	}
-	// The modulator is baseband-aligned; senders carry their own CFO, so
-	// the receiver compensates the canonical offset exactly as it would
-	// on a real channel pair.
-	phy, err := core.NewLink(p, 0)
+	mc.CFOJitterHz = cfg.CFOJitterHz
+	mc.SFOppm = cfg.SFOppm
+	mc.GainSpreadDB = cfg.GainSpreadDB
+
+	rep, err := RunMedium(mc, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
+	per := make([]SenderStats, len(rep.PerSender))
+	for i, st := range rep.PerSender {
+		per[i] = SenderStats(st)
+	}
+	return &MultiSenderReport{
+		Senders:         rep.Senders,
+		FramesPerSender: rep.FramesPerSender,
+		Seed:            rep.Seed,
+		DurationSec:     rep.DurationSec,
+		Delivered:       rep.Delivered,
+		Collisions:      rep.Collisions,
+		GoodputBps:      rep.GoodputBps,
+		CollisionRate:   rep.CollisionRate,
+		PerSender:       per,
+	}, nil
+}
 
-	txs, err := buildSchedules(cfg, phy)
+// RunMedium drives one event-driven shared-medium scenario end-to-end:
+// a medium.Engine synthesizes the capture chunk-by-chunk into a
+// streaming-preset Stack, and decoded frames are credited back to
+// their transmissions through the payload identity bytes. This is the
+// sentinel-free entry point density sweeps use; RunMultiSender wraps it
+// for the legacy config type.
+func RunMedium(cfg medium.Config, m *Metrics) (*medium.Report, error) {
+	eng, err := medium.NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	markCollisions(txs)
-	capture := superpose(cfg, p, txs)
-
-	if err := receiveAll(cfg, p, capture, txs); err != nil {
+	dec, err := core.NewDecoder(cfg.Params, wifi.CanonicalCompensation)
+	if err != nil {
+		return nil, fmt.Errorf("link: %w", err)
+	}
+	st, err := NewStreaming(dec, 0, m)
+	if err != nil {
 		return nil, err
 	}
-	return report(cfg, p, capture, txs), nil
+	sink := &mediumSink{st: st, eng: eng, wideID: cfg.DataBytes >= 3}
+	return eng.Run(sink)
 }
 
-// senderSeed derives one sender's private RNG stream from the scenario
-// seed (splitmix-style so adjacent seeds do not correlate).
-func senderSeed(seed int64, sender int) int64 {
-	z := uint64(seed) + uint64(sender+1)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
+// mediumSink adapts a streaming Stack to the engine's Sink contract:
+// every synthesized chunk is pushed as IQ, and each decoded frame is
+// matched back to its transmission by the identity bytes (Data[0] low,
+// Data[2] high when the payload is wide enough).
+type mediumSink struct {
+	st     *Stack
+	eng    *medium.Engine
+	wideID bool
 }
 
-// buildSchedules draws every sender's frame placements and impaired
-// waveforms.
-func buildSchedules(cfg MultiSenderConfig, phy *core.Link) ([]*transmission, error) {
-	var txs []*transmission
-	for s := 0; s < cfg.Senders; s++ {
-		rng := rand.New(rand.NewSource(senderSeed(cfg.Seed, s)))
-		cfo := channel.DefaultFreqOffset
-		if cfg.CFOJitterHz > 0 {
-			cfo += (2*rng.Float64() - 1) * cfg.CFOJitterHz
-		}
-		sfo := 0.0
-		if cfg.SFOppm > 0 {
-			sfo = (2*rng.Float64() - 1) * cfg.SFOppm
-		}
-		snr := cfg.SNRdB
-		if cfg.GainSpreadDB > 0 {
-			snr += (2*rng.Float64() - 1) * cfg.GainSpreadDB
-		}
-		gain := complex(ampFromSNRdB(snr), 0)
-
-		pos := 0
-		for seq := 0; seq < cfg.FramesPerSender; seq++ {
-			data := make([]byte, cfg.DataBytes)
-			data[0] = byte(s)
-			if cfg.DataBytes > 1 {
-				data[1] = byte(seq)
-			}
-			payload, err := core.EncodeFrame(&core.Frame{Seq: byte(seq), Data: data})
-			if err != nil {
-				return nil, err
-			}
-			sig, err := phy.PayloadToSignal(payload)
-			if err != nil {
-				return nil, err
-			}
-			if sfo != 0 {
-				sig = channel.ApplySFO(sig, sfo)
-			}
-			if cfo != 0 {
-				channel.ApplyCFO(sig, cfo, phy.Params().SampleRate)
-			}
-			airtime := len(sig)
-			// Exponential idle gap before this frame, in airtime
-			// multiples; the first frame also starts after a random gap
-			// so sender 0 does not always open the capture.
-			gap := int(rng.ExpFloat64() * cfg.MeanGapAirtimes * float64(airtime))
-			pos += gap
-			txs = append(txs, &transmission{
-				sender: s,
-				seq:    seq,
-				start:  pos,
-				end:    pos + airtime,
-				sig:    sig,
-				gain:   gain,
-			})
-			pos += airtime
-		}
-	}
-	sort.Slice(txs, func(i, j int) bool {
-		if txs[i].start != txs[j].start {
-			return txs[i].start < txs[j].start
-		}
-		if txs[i].sender != txs[j].sender {
-			return txs[i].sender < txs[j].sender
-		}
-		return txs[i].seq < txs[j].seq
-	})
-	return txs, nil
-}
-
-// ampFromSNRdB converts a target SNR against unit noise to a linear
-// amplitude scale.
-func ampFromSNRdB(snrDB float64) float64 {
-	return math.Sqrt(dsp.FromDB(snrDB))
-}
-
-// markCollisions flags every transmission whose airtime interval
-// overlaps another transmission's. txs must be sorted by start.
-func markCollisions(txs []*transmission) {
-	maxEnd := -1
-	lastIdx := -1
-	for i, tx := range txs {
-		if lastIdx >= 0 && tx.start < maxEnd {
-			tx.collide = true
-			txs[lastIdx].collide = true
-		}
-		if tx.end > maxEnd {
-			maxEnd = tx.end
-			lastIdx = i
-		}
-	}
-}
-
-// superpose lays every impaired waveform onto one shared capture and
-// adds unit receiver noise. The capture gets a decode-gate pad after the
-// final transmission so the last frame's deferred decode fires.
-func superpose(cfg MultiSenderConfig, p core.Params, txs []*transmission) []complex128 {
-	total := 0
-	for _, tx := range txs {
-		if tx.end > total {
-			total = tx.end
-		}
-	}
-	// The phase stream trails the samples by Lag, so the decode-gate pad
-	// needs that much extra on top of the phase horizon.
-	pad := PadHorizon(p, 12) + p.Lag
-	capture := make([]complex128, total+pad)
-	for _, tx := range txs {
-		for i, v := range tx.sig {
-			capture[tx.start+i] += v * tx.gain
-		}
-	}
-	rng := rand.New(rand.NewSource(senderSeed(cfg.Seed, -1)))
-	channel.AddAWGN(capture, 1, rng)
-	return capture
-}
-
-// receiveAll runs the capture through one streaming-preset Stack in
-// chunks and matches decoded frames back to their transmissions.
-func receiveAll(cfg MultiSenderConfig, p core.Params, capture []complex128, txs []*transmission) error {
-	dec, err := core.NewDecoder(p, wifi.CanonicalCompensation)
-	if err != nil {
+func (s *mediumSink) PushChunk(iq []complex128) error {
+	if err := s.st.PushIQ(iq); err != nil {
 		return err
 	}
-	st, err := NewStreaming(dec, 0, cfg.Metrics)
-	if err != nil {
-		return err
-	}
-	match := func(events []Event) {
-		for _, ev := range events {
-			if ev.Kind != core.EventFrame || len(ev.Frame.Data) == 0 {
-				continue
-			}
-			sender := int(ev.Frame.Data[0])
-			seq := int(ev.Frame.Seq)
-			for _, tx := range txs {
-				if tx.sender == sender && tx.seq == seq && !tx.decoded {
-					tx.decoded = true
-					break
-				}
-			}
-		}
-	}
-	for off := 0; off < len(capture); off += cfg.ChunkSamples {
-		end := off + cfg.ChunkSamples
-		if end > len(capture) {
-			end = len(capture)
-		}
-		if err := st.PushIQ(capture[off:end]); err != nil {
-			return err
-		}
-		match(st.Drain())
-	}
-	if err := st.Flush(); err != nil {
-		return err
-	}
-	match(st.Drain())
+	s.match()
 	return nil
 }
 
-// report folds the per-transmission outcomes into the scenario report.
-func report(cfg MultiSenderConfig, p core.Params, capture []complex128, txs []*transmission) *MultiSenderReport {
-	per := make([]SenderStats, cfg.Senders)
-	for i := range per {
-		per[i].Sender = i
+func (s *mediumSink) Flush() error {
+	if err := s.st.Flush(); err != nil {
+		return err
 	}
-	delivered, collisions := 0, 0
-	for _, tx := range txs {
-		st := &per[tx.sender]
-		st.Sent++
-		if tx.decoded {
-			st.Delivered++
-			delivered++
+	s.match()
+	return nil
+}
+
+func (s *mediumSink) match() {
+	for _, ev := range s.st.Drain() {
+		if ev.Kind != core.EventFrame || len(ev.Frame.Data) == 0 {
+			continue
 		}
-		if tx.collide {
-			st.Collided++
-			collisions++
-			if tx.decoded {
-				st.CollidedDelivered++
-			}
+		sender := int(ev.Frame.Data[0])
+		if s.wideID && len(ev.Frame.Data) > 2 {
+			sender |= int(ev.Frame.Data[2]) << 8
 		}
+		s.eng.MarkDecoded(sender, int(ev.Frame.Seq))
 	}
-	for i := range per {
-		if per[i].Sent > 0 {
-			per[i].DeliveryRate = float64(per[i].Delivered) / float64(per[i].Sent)
-			per[i].CollisionRate = float64(per[i].Collided) / float64(per[i].Sent)
-		}
-	}
-	duration := float64(len(capture)) / p.SampleRate
-	total := cfg.Senders * cfg.FramesPerSender
-	rep := &MultiSenderReport{
-		Senders:         cfg.Senders,
-		FramesPerSender: cfg.FramesPerSender,
-		Seed:            cfg.Seed,
-		DurationSec:     duration,
-		Delivered:       delivered,
-		Collisions:      collisions,
-		GoodputBps:      float64(delivered*cfg.DataBytes*8) / duration,
-		CollisionRate:   float64(collisions) / float64(total),
-		PerSender:       per,
-	}
-	return rep
 }

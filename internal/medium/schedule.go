@@ -1,0 +1,149 @@
+package medium
+
+import (
+	"math"
+	"math/rand"
+
+	"symbee/internal/channel"
+	"symbee/internal/dsp"
+	"symbee/internal/splitmix"
+)
+
+// senderSource is one sender's lazily-advanced schedule: its private
+// RNG stream has drawn the per-sender impairments and exactly the gaps
+// needed to place the next pending frame — never the whole schedule.
+// The draw order (CFO, SFO, gain, then one exponential gap per frame)
+// matches the dense reference implementation, so a source replayed to
+// exhaustion consumes its stream identically.
+type senderSource struct {
+	id  int
+	rng *rand.Rand
+	// cfoHz/sfoPPM/gain are the sender's fixed impairments.
+	cfoHz  float64
+	sfoPPM float64
+	gain   complex128
+	// meanGapAirtimes scales the exponential idle draws.
+	meanGapAirtimes float64
+	// airtime is the constant per-frame signal length in samples.
+	airtime int
+	// nextSeq/nextStart describe the pending frame; frames is the
+	// total budget.
+	nextSeq   int
+	nextStart int
+	frames    int
+}
+
+// newSenderSource derives sender id's stream and draws its impairments
+// plus the idle gap in front of its first frame (so sender 0 does not
+// always open the capture).
+func newSenderSource(cfg Config, id, airtime int) *senderSource {
+	rng := splitmix.New(cfg.Seed, id)
+	cfo := channel.DefaultFreqOffset
+	if cfg.CFOJitterHz > 0 {
+		cfo += (2*rng.Float64() - 1) * cfg.CFOJitterHz
+	}
+	sfo := 0.0
+	if cfg.SFOppm > 0 {
+		sfo = (2*rng.Float64() - 1) * cfg.SFOppm
+	}
+	snr := cfg.SNRdB
+	if cfg.GainSpreadDB > 0 {
+		snr += (2*rng.Float64() - 1) * cfg.GainSpreadDB
+	}
+	s := &senderSource{
+		id:              id,
+		rng:             rng,
+		cfoHz:           cfo,
+		sfoPPM:          sfo,
+		gain:            complex(math.Sqrt(dsp.FromDB(snr)), 0),
+		meanGapAirtimes: cfg.MeanGapAirtimes,
+		airtime:         airtime,
+		frames:          cfg.FramesPerSender,
+	}
+	s.nextStart = s.drawGap()
+	return s
+}
+
+// drawGap draws one exponential idle gap in samples. The expression
+// mirrors the dense reference exactly (same association order) so the
+// float result is bit-identical.
+func (s *senderSource) drawGap() int {
+	return int(s.rng.ExpFloat64() * s.meanGapAirtimes * float64(s.airtime))
+}
+
+// advance consumes the pending frame and draws the gap in front of the
+// next one; it reports whether the sender has frames left.
+func (s *senderSource) advance() bool {
+	end := s.nextStart + s.airtime
+	s.nextSeq++
+	if s.nextSeq >= s.frames {
+		return false
+	}
+	s.nextStart = end + s.drawGap()
+	return true
+}
+
+// eventQueue is a min-heap of sender sources ordered by next
+// transmission start (ties by sender id — the dense reference's sort
+// order, which the renderer's mixing order must reproduce). It is used
+// directly rather than through container/heap to keep the item type
+// concrete.
+type eventQueue struct {
+	srcs []*senderSource
+}
+
+func (q *eventQueue) len() int { return len(q.srcs) }
+
+// peekStart returns the earliest pending transmission start.
+func (q *eventQueue) peekStart() int { return q.srcs[0].nextStart }
+
+func (q *eventQueue) less(i, j int) bool {
+	if q.srcs[i].nextStart != q.srcs[j].nextStart {
+		return q.srcs[i].nextStart < q.srcs[j].nextStart
+	}
+	return q.srcs[i].id < q.srcs[j].id
+}
+
+// push adds a source and restores the heap invariant.
+func (q *eventQueue) push(s *senderSource) {
+	q.srcs = append(q.srcs, s)
+	i := len(q.srcs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.srcs[i], q.srcs[parent] = q.srcs[parent], q.srcs[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the source with the earliest pending start.
+func (q *eventQueue) pop() *senderSource {
+	top := q.srcs[0]
+	last := len(q.srcs) - 1
+	q.srcs[0] = q.srcs[last]
+	q.srcs[last] = nil
+	q.srcs = q.srcs[:last]
+	q.siftDown(0)
+	return top
+}
+
+func (q *eventQueue) siftDown(i int) {
+	n := len(q.srcs)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && q.less(left, smallest) {
+			smallest = left
+		}
+		if right < n && q.less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		q.srcs[i], q.srcs[smallest] = q.srcs[smallest], q.srcs[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,51 @@
+package medium
+
+import (
+	"math/rand"
+
+	"symbee/internal/channel"
+)
+
+// renderChunk synthesizes the shared-medium capture for the window
+// [cur, cur+len(dst)): zero the window, mix every active
+// transmission's overlap in admission (schedule) order, then add unit
+// receiver noise last. That is exactly the per-sample addition order
+// of the dense reference (which superposes whole waveforms in sorted
+// order and AWGNs the finished capture), so the lazily-rendered
+// capture is bit-identical to the materialized one. Idle windows cost
+// the noise draws and nothing else.
+//
+//symbee:hotpath
+func renderChunk(dst []complex128, active []*activeTx, cur int, noise *rand.Rand) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, a := range active {
+		mixOverlap(dst, a, cur)
+	}
+	channel.AddAWGN(dst, 1, noise)
+}
+
+// mixOverlap adds the slice of a's waveform that overlaps the window
+// starting at cur into dst, scaled by the sender's gain.
+func mixOverlap(dst []complex128, a *activeTx, cur int) {
+	lo := a.rec.start - cur
+	off := 0
+	if lo < 0 {
+		off = -lo
+		lo = 0
+	}
+	n := len(a.sig) - off
+	if m := len(dst) - lo; n > m {
+		n = m
+	}
+	if n <= 0 {
+		return
+	}
+	g := a.gain
+	seg := a.sig[off : off+n]
+	out := dst[lo : lo+n]
+	for i, v := range seg {
+		out[i] += v * g
+	}
+}

@@ -17,7 +17,11 @@ go test ./...
 # bounded to two seeds here: one seeded 4 KiB transfer costs ~1 min
 # under the race detector, and the full 100-seed acceptance sweep runs
 # race-free in CI's dedicated soak job.
-RELIABLE_SOAK_RUNS=2 go test -race -timeout 15m ./internal/stream/... ./internal/core/... ./internal/reliable/... ./internal/channel/... ./internal/link/...
+RELIABLE_SOAK_RUNS=2 go test -race -timeout 15m ./internal/stream/... ./internal/core/... ./internal/reliable/... ./internal/channel/... ./internal/link/... ./internal/medium/...
+# Medium-engine equivalence under the race detector: the event-driven
+# lazy synthesizer must reproduce the dense reference bit-for-bit
+# (DESIGN.md §12).
+go test -race ./internal/link/ -run 'TestMediumLinkEquivalence' -count=1
 # Link-stack equivalence: the committed golden fixtures must decode
 # byte-identically through the reference batch entrypoint and every
 # Stack configuration at every ingest chunk size, and the warm ingest
