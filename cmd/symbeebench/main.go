@@ -9,7 +9,7 @@
 //	symbeebench -run fig13
 //	symbeebench -all
 //	symbeebench -run fig12 -packets 200 -seed 7 -csv
-//	symbeebench -stream -stream-out BENCH_stream.json
+//	symbeebench -stream -stream-out BENCH_stream.json -stream-baseline BENCH_stream.json
 //	symbeebench -kernel -kernel-out BENCH_kernel.json -kernel-baseline BENCH_kernel.json
 //	symbeebench -reliable -reliable-out BENCH_reliable.json
 //	symbeebench -multisender -multisender-out BENCH_multisender.json
@@ -36,10 +36,11 @@ func main() {
 		short   = flag.Bool("short", false, "quarter-size runs")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 
-		streamBench   = flag.Bool("stream", false, "measure streaming receiver throughput instead of a paper experiment")
-		streamOut     = flag.String("stream-out", "BENCH_stream.json", "file for the stream throughput JSON artifact (\"\" = don't write)")
-		streamChunk   = flag.Int("stream-chunk", 4096, "stream bench chunk size in samples")
-		streamSamples = flag.Uint64("stream-samples", 50_000_000, "minimum samples the stream bench replays")
+		streamBench    = flag.Bool("stream", false, "measure streaming receiver throughput instead of a paper experiment")
+		streamOut      = flag.String("stream-out", "BENCH_stream.json", "file for the stream throughput JSON artifact (\"\" = don't write)")
+		streamChunk    = flag.Int("stream-chunk", 4096, "stream bench chunk size in samples")
+		streamSamples  = flag.Uint64("stream-samples", 50_000_000, "minimum samples the stream bench replays")
+		streamBaseline = flag.String("stream-baseline", "", "baseline BENCH_stream.json to gate against (fail if noise hunting <1x real time or either path regresses >20%)")
 
 		kernelBench    = flag.Bool("kernel", false, "measure the phase-extraction kernels (exact vs fast atan2, classify)")
 		kernelOut      = flag.String("kernel-out", "BENCH_kernel.json", "file for the kernel JSON artifact (\"\" = don't write)")
@@ -99,7 +100,7 @@ func main() {
 		return
 	}
 	if *streamBench {
-		if err := runStreamBench(*seed, *streamChunk, *streamSamples, *streamOut); err != nil {
+		if err := runStreamBench(*seed, *streamChunk, *streamSamples, *streamOut, *streamBaseline); err != nil {
 			fmt.Fprintln(os.Stderr, "symbeebench:", err)
 			os.Exit(1)
 		}

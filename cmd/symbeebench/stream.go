@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 
 	"symbee/internal/channel"
 	"symbee/internal/cli"
@@ -10,6 +12,10 @@ import (
 	"symbee/internal/stream"
 	"symbee/internal/wifi"
 )
+
+// streamRegressionTolerance is how far either replay regime's realtime
+// multiple may fall below the committed baseline before CI fails.
+const streamRegressionTolerance = 0.20
 
 // streamBenchArtifact is the schema of BENCH_stream.json: the two
 // throughput regimes that bracket a live receiver — a frame-bearing
@@ -25,8 +31,11 @@ type streamBenchArtifact struct {
 }
 
 // runStreamBench measures single-stream ingest throughput of the full
-// IQ→phase→decode chain on one core and writes the JSON artifact.
-func runStreamBench(seed int64, chunk int, minSamples uint64, outPath string) error {
+// IQ→phase→decode chain on one core and writes the JSON artifact. With
+// a baseline path it additionally gates the run: the noise (idle
+// hunting) path must hold real time outright, and neither regime may
+// regress more than streamRegressionTolerance below the baseline.
+func runStreamBench(seed int64, chunk int, minSamples uint64, outPath, baselinePath string) error {
 	p := core.Params20()
 	rng := rand.New(rand.NewSource(seed))
 
@@ -81,6 +90,42 @@ func runStreamBench(seed int64, chunk int, minSamples uint64, outPath string) er
 		return err
 	} else if wrote {
 		fmt.Printf("  wrote %s\n", outPath)
+	}
+	if baselinePath != "" {
+		return checkStreamBaseline(art, baselinePath)
+	}
+	return nil
+}
+
+// checkStreamBaseline gates a stream bench run against the committed
+// artifact: the noise path — the state a deployed idle listener is in
+// almost all the time — must hold ≥1× real time on its own, and
+// neither regime's realtime multiple may fall more than
+// streamRegressionTolerance below the baseline's.
+func checkStreamBaseline(art streamBenchArtifact, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("stream baseline: %w", err)
+	}
+	var base streamBenchArtifact
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("stream baseline %s: %w", path, err)
+	}
+	fmt.Printf("  baseline gate: frame %.2fx (baseline %.2fx), noise %.2fx (baseline %.2fx)\n",
+		art.FrameReplay.RealtimeX, base.FrameReplay.RealtimeX,
+		art.NoiseReplay.RealtimeX, base.NoiseReplay.RealtimeX)
+	if art.NoiseReplay.RealtimeX < 1.0 {
+		return fmt.Errorf("stream regression: noise hunting at %.2fx real time, the idle-listening path must hold ≥1.0x",
+			art.NoiseReplay.RealtimeX)
+	}
+	pct := int(streamRegressionTolerance * 100)
+	if floor := base.FrameReplay.RealtimeX * (1 - streamRegressionTolerance); art.FrameReplay.RealtimeX < floor {
+		return fmt.Errorf("stream regression: frame replay %.2fx fell >%d%% below baseline %.2fx",
+			art.FrameReplay.RealtimeX, pct, base.FrameReplay.RealtimeX)
+	}
+	if floor := base.NoiseReplay.RealtimeX * (1 - streamRegressionTolerance); art.NoiseReplay.RealtimeX < floor {
+		return fmt.Errorf("stream regression: noise hunting %.2fx fell >%d%% below baseline %.2fx",
+			art.NoiseReplay.RealtimeX, pct, base.NoiseReplay.RealtimeX)
 	}
 	return nil
 }

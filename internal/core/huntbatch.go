@@ -1,0 +1,336 @@
+package core
+
+import "math"
+
+// This file is the batched idle-hunt kernel: the chunk-at-a-time
+// counterpart of preambleScanner.push for the cold-hunt state the
+// receiver sits in ~99% of the time on an idle channel.
+//
+// The scalar path pays three ring data structures (folder, windowed
+// mean, sign counter) per sample. The batch kernel removes all of them:
+// fold sums are gathered directly from the retained phase history with
+// a 4-tap strided read, and the windowed mean/sign state is carried in
+// three scalars (msum, neg, plus one chronological ring of fold sums).
+// On top of that sits a decimated pre-gate that proves whole segments
+// of anchors cannot reach the capture threshold and skips them without
+// touching any per-anchor state.
+//
+// Bit-identity with the scalar path is engineered, not hoped for:
+//
+//   - Both paths re-anchor the windowed state (recompute the window sum
+//     oldest→newest, recount negatives) at the same deterministic
+//     absolute fold anchors: every multiple of huntSegment once the
+//     windows are full. At those points the state is a pure function of
+//     the phase window, so a segment whose interior the batch path never
+//     evaluated resumes with exactly the state the scalar path holds.
+//   - Between re-anchors the kernel replicates the scalar update order
+//     exactly: the fold sum adds taps oldest→newest (SlidingFolder.Push
+//     order) and the window sum subtracts the evicted value before
+//     adding the new one (MovingAverage.Push order).
+//   - The pre-gate is sound by construction: it evaluates exact window
+//     means at decimated checkpoints and adds the worst-case Lipschitz
+//     slack of the statistic between checkpoints, so a skipped anchor
+//     provably could not have crossed the threshold (analysis in
+//     DESIGN.md §13). A gate false-alarm only costs speed: the segment
+//     is evaluated exactly.
+//
+// The equivalence is pinned by TestHuntScalarBatchEquivalence and the
+// golden trace fixtures, which run both paths over identical streams.
+
+const (
+	// huntSegment is the re-anchor period in fold anchors, and the
+	// granularity at which the pre-gate skips. Must be a power of two
+	// (the scalar path tests anchors with a mask). 512 keeps re-anchor
+	// cost ≈0.3 adds/sample while bounding the deferred-tail lag.
+	huntSegment = 512
+	// gateDecim is the pre-gate checkpoint spacing in anchors. The gate
+	// slides four StableLen-run sums by gateDecim between checkpoints:
+	// ~8/gateDecim adds per anchor, traded against the Lipschitz slack
+	// (gateDecim/2)·2·PreambleBits·π/StableLen it must leave under the
+	// threshold.
+	gateDecim = 4
+	// gateMargin absorbs floating-point drift between the gate's sliding
+	// checkpoint sums and the kernel's incremental window sums. Both are
+	// re-derived fresh every segment, so the true drift is below 1e-9;
+	// 1e-6 leaves three orders of magnitude of headroom while remaining
+	// negligible against the ≈0.6 Lipschitz slack.
+	gateMargin = 1e-6
+)
+
+// huntGateSlack returns the pre-gate's between-checkpoint slack: the
+// worst-case travel of the windowed fold mean over the gateDecim/2
+// anchors separating any anchor from its nearest checkpoint. One anchor
+// step exchanges PreambleBits phases (each in [-π, π]) in the
+// StableLen-window of fold sums, so the mean moves by at most
+// 2·PreambleBits·π/StableLen per step.
+func huntGateSlack(p Params) float64 {
+	perStep := 2 * float64(PreambleBits) * math.Pi / float64(p.StableLen)
+	return perStep * float64(gateDecim/2)
+}
+
+// huntChunk consumes the buffered phase stream [s.i, n) from win,
+// exactly as a loop of push(win.at(s.i)) would, and reports whether the
+// scan is complete. scalarOnly forces the per-sample reference path
+// (the equivalence tests diff the two). flushed marks end of stream:
+// the kernel may otherwise defer an idle frontier tail shorter than a
+// segment until more phases arrive (deferral is invisible — a provably
+// idle tail emits nothing — but a flush must drain it).
+//
+//symbee:hotpath
+func (s *preambleScanner) huntChunk(win phaseWindow, n int, scalarOnly, flushed bool) bool {
+	if s.done {
+		return true
+	}
+	stable := s.d.p.StableLen
+	for s.i < n {
+		// The batch kernel runs only in the cold hunt: locked scanners
+		// are in the bounded refinement span where per-sample cost no
+		// longer matters, and the warm-up before the first re-anchor
+		// boundary has no batch-derivable state. PreambleBits != 4 never
+		// holds today (compile-time constant); the guard documents the
+		// kernel's 4-tap specialization.
+		a := s.i - s.foldSpan + 1
+		if scalarOnly || PreambleBits != 4 || s.locked() ||
+			(!s.batchValid && (a-s.start < stable || a&(huntSegment-1) != 0)) {
+			if s.push(win.at(s.i)) {
+				return true
+			}
+			continue
+		}
+		if s.huntBatch(win, n, flushed) {
+			// Locked: the handoff rebuilt the scalar rings; the
+			// refinement span continues per-sample above.
+			continue
+		}
+		// Everything processable was consumed (or an idle frontier tail
+		// was deferred); s.i marks the resume point either way.
+		return false
+	}
+	return false
+}
+
+// huntBatch runs the batched kernel from fold anchor s.i-foldSpan+1 to
+// the last processable anchor, skipping segments the pre-gate proves
+// idle. It returns true when a threshold crossing locked the scanner
+// (state handed back to the scalar rings); otherwise it has consumed
+// the input, except possibly an idle sub-segment frontier tail, which
+// stays deferred at its segment boundary unless flushed.
+func (s *preambleScanner) huntBatch(win phaseWindow, n int, flushed bool) bool {
+	aEnd := n - s.foldSpan + 1 // one past the last processable anchor
+	a := s.i - s.foldSpan + 1
+	for a < aEnd {
+		if a&(huntSegment-1) == 0 {
+			// Segment boundary: both paths re-anchor here, so state may
+			// be re-derived fresh — which is what makes gate skips free.
+			e := a + huntSegment
+			partial := e > aEnd
+			if partial {
+				e = aEnd
+			}
+			if s.gateIdle(win, a, e) {
+				if partial && !flushed {
+					// Idle frontier tail: defer until more phases
+					// arrive, so the next call re-gates the fuller
+					// segment from this same boundary.
+					s.setScanPos(a)
+					return false
+				}
+				s.batchValid = false
+				a = e
+				continue
+			}
+			s.rederive(win, a)
+			if s.runSpan(win, a, e) {
+				return true
+			}
+			a = e
+		} else {
+			// Mid-segment resume: carried state continues exactly to
+			// the next boundary (batchValid holds by construction — the
+			// only mid-segment entries are chunk-boundary resumes of a
+			// segment this kernel was already evaluating).
+			e := a - (a & (huntSegment - 1)) + huntSegment
+			if e > aEnd {
+				e = aEnd
+			}
+			if s.runSpan(win, a, e) {
+				return true
+			}
+			a = e
+		}
+	}
+	s.setScanPos(aEnd)
+	return false
+}
+
+// setScanPos positions the scanner so the next consumed phase completes
+// fold anchor a: the scalar push of stream index i completes anchor
+// i-foldSpan+1.
+func (s *preambleScanner) setScanPos(a int) {
+	s.i = a + s.foldSpan - 1
+}
+
+// rederive rebuilds the kernel's windowed state fresh at segment-start
+// anchor a: the chronological ring of fold sums for anchors
+// [a-StableLen, a), their oldest→newest sum, and the negative count —
+// exactly the state the scalar path holds after its Reanchor calls at
+// the same position.
+func (s *preambleScanner) rederive(win phaseWindow, a int) {
+	p := s.d.p.BitPeriod
+	stable := s.d.p.StableLen
+	data := win.data
+	j := a - stable - win.base
+	var msum float64
+	neg := 0
+	for k := 0; k < stable; k++ {
+		f := data[j] + data[j+p] + data[j+2*p] + data[j+3*p]
+		s.foldRing[k] = f
+		msum += f
+		if f < 0 {
+			neg++
+		}
+		j++
+	}
+	s.foldPos = 0
+	s.msum = msum
+	s.neg = neg
+	s.batchValid = true
+}
+
+// runSpan evaluates the exact detection statistic at every fold anchor
+// in [a, e) using the carried kernel state, replicating the scalar
+// update order bit for bit. On a threshold crossing that locks the
+// scanner it hands the state back to the scalar rings and returns true;
+// otherwise it leaves the carried state continuing at anchor e.
+//
+//symbee:hotpath
+func (s *preambleScanner) runSpan(win phaseWindow, a, e int) bool {
+	d := s.d
+	p := d.p.BitPeriod
+	stable := d.p.StableLen
+	thr := d.CaptureThreshold
+	tau := d.p.TauSync
+	// Sum-domain screen: mean ≥ thr requires msum ≥ thr·stable up to the
+	// division rounding; the 1e-6 slack keeps the screen conservative so
+	// the exact mean test below still decides every borderline case.
+	thrSumLo := thr*float64(stable) - 1e-6
+	invStable := float64(stable)
+	data := win.data
+	ring := s.foldRing
+	j := a - win.base
+	msum, neg, pos := s.msum, s.neg, s.foldPos
+	for ; a < e; a++ {
+		f := data[j] + data[j+p] + data[j+2*p] + data[j+3*p]
+		old := ring[pos]
+		ring[pos] = f
+		pos++
+		if pos == stable {
+			pos = 0
+		}
+		// MovingAverage.Push order: evict, then add.
+		msum -= old
+		msum += f
+		if old < 0 {
+			neg--
+		}
+		if f < 0 {
+			neg++
+		}
+		j++
+		if stable-neg >= tau && msum >= thrSumLo {
+			mean := msum / invStable
+			if mean >= thr {
+				if s.consider(a-stable+1, mean) {
+					// First crossing: the scanner locked. Mirror the
+					// locking push's own countdown tick, then hand the
+					// state back to the scalar rings.
+					s.remaining--
+					s.msum, s.neg, s.foldPos = msum, neg, pos
+					s.handoff(win, a)
+					return true
+				}
+			}
+		}
+	}
+	s.msum, s.neg, s.foldPos = msum, neg, pos
+	s.setScanPos(e)
+	s.batchValid = true
+	return false
+}
+
+// handoff rebuilds the scalar rings from the kernel state after a lock
+// at fold anchor a, leaving the scanner exactly as if every phase had
+// gone through push: the folder ring holds the last foldSpan phases,
+// and the mean/counter rings hold the chronological window of fold
+// sums with the carried (not recomputed) running sum.
+//
+//symbee:coldpath
+func (s *preambleScanner) handoff(win phaseWindow, a int) {
+	s.i = a + s.foldSpan // just past the locking push
+	k := copy(s.handScratch, s.foldRing[s.foldPos:])
+	copy(s.handScratch[k:], s.foldRing[:s.foldPos])
+	s.folder.LoadWindow(win.data[s.i-s.foldSpan-win.base : s.i-win.base])
+	s.mean.LoadWindow(s.handScratch, s.msum)
+	s.counter.LoadWindow(s.handScratch)
+	s.batchValid = false
+}
+
+// gateIdle reports whether no fold anchor in [a, e) can reach the
+// capture threshold, by evaluating the exact windowed fold mean at
+// checkpoints every gateDecim anchors (endpoints forced) and allowing
+// the worst-case Lipschitz travel gateSlack between checkpoints. The
+// windowed mean at anchor c is the average of StableLen fold sums,
+// which regroups into PreambleBits sliding StableLen-run sums of the
+// phase stream itself:
+//
+//	mean(c) = (1/StableLen) Σ_{i<PreambleBits} Q(c-StableLen+1 + i·P)
+//	   Q(q) = Σ_{t<StableLen} φ[q+t]
+//
+// so checkpoints cost 2·PreambleBits adds per arm-slide step instead
+// of a full window rebuild. The checkpoint sums are re-derived fresh at
+// every gate call, so their drift stays far below gateMargin.
+//
+//symbee:hotpath
+func (s *preambleScanner) gateIdle(win phaseWindow, a, e int) bool {
+	d := s.d
+	stable := d.p.StableLen
+	p := d.p.BitPeriod
+	// Compare in the sum domain: idle iff every checkpoint's four-arm
+	// sum stays under (thr - slack - margin)·StableLen.
+	limit := (d.CaptureThreshold - s.gateSlack - gateMargin) * float64(stable)
+	if limit <= 0 {
+		return false // degenerate threshold: the gate can never help
+	}
+	data := win.data
+	// Arm 0 covers phases [a-StableLen+1, a+1); arms 1..3 sit one bit
+	// period apart. All reads lie within the processable span.
+	off := a - stable + 1 - win.base
+	var total float64
+	for _, arm := range [4]int{off, off + p, off + 2*p, off + 3*p} {
+		for _, v := range data[arm : arm+stable] {
+			total += v
+		}
+	}
+	if total >= limit {
+		return false
+	}
+	for c := a; c < e-1; {
+		step := gateDecim
+		if c+step > e-1 {
+			step = e - 1 - c
+		}
+		for t := 0; t < step; t++ {
+			idx := off + t
+			total += data[idx+stable] - data[idx]
+			total += data[idx+p+stable] - data[idx+p]
+			total += data[idx+2*p+stable] - data[idx+2*p]
+			total += data[idx+3*p+stable] - data[idx+3*p]
+		}
+		off += step
+		c += step
+		if total >= limit {
+			return false
+		}
+	}
+	return true
+}

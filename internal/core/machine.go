@@ -104,6 +104,11 @@ type FrameMachine struct {
 	// exists trimming stops, so selection always sees a stable window.
 	retention int
 
+	// scalarHunt forces the per-sample reference hunt path instead of the
+	// batched kernel (huntbatch.go); the two are bit-identical and the
+	// equivalence tests diff them over randomized streams.
+	scalarHunt bool
+
 	lockEmitted bool
 	flushed     bool
 	events      []StreamEvent
@@ -283,23 +288,25 @@ func (m *FrameMachine) advance() {
 	}
 }
 
-// feedScanner streams buffered phases into the preamble scanner,
-// reporting whether the scan completed. It also emits the lock event on
-// the first threshold crossing.
+// SetScalarHunt selects between the batched hunt kernel (default) and
+// the per-sample reference path. The two are bit-identical; the switch
+// exists so the equivalence tests can diff them and so a regression can
+// be bisected in the field.
+func (m *FrameMachine) SetScalarHunt(v bool) { m.scalarHunt = v }
+
+// feedScanner streams buffered phases into the preamble scanner via the
+// batched hunt kernel, reporting whether the scan completed. It also
+// emits the lock event on the first threshold crossing. The scan
+// position may lag the newest phase by up to a hunt segment while the
+// kernel defers a provably idle frontier tail; trim never cuts past it.
 func (m *FrameMachine) feedScanner() bool {
-	data := m.buf[m.scanPos-m.base:]
-	for _, phi := range data {
-		done := m.scan.push(phi)
-		m.scanPos++
-		if !m.lockEmitted && m.scan.locked() {
-			m.lockEmitted = true
-			m.events = append(m.events, StreamEvent{Kind: EventLock, Anchor: m.scan.cands[0].anchor})
-		}
-		if done {
-			return true
-		}
+	done := m.scan.huntChunk(m.window(), m.n, m.scalarHunt, m.flushed)
+	m.scanPos = m.scan.i
+	if !m.lockEmitted && m.scan.locked() {
+		m.lockEmitted = true
+		m.events = append(m.events, StreamEvent{Kind: EventLock, Anchor: m.scan.lockAnchor})
 	}
-	return false
+	return done
 }
 
 // rearm restarts hunting at stream index from: the scanner is reset

@@ -58,15 +58,35 @@ type preambleScanner struct {
 	mean     *dsp.MovingAverage
 	foldSpan int
 	// i is the absolute stream index of the next phase to consume.
-	i         int
+	i int
+	// start is the stream index the scanner was (re)set at; fold anchors
+	// exist from start onward, and the re-anchor schedule (below) is
+	// phased off absolute anchor positions so the scalar and batched hunt
+	// paths re-derive their windowed state at identical points.
+	start     int
 	cands     []foldCandidate
 	bestMean  float64
 	bestIdx   int
 	remaining int // ≥0 once in the refinement phase
-	done      bool
+	// lockAnchor is the candidate anchor at the moment of the first
+	// threshold crossing (the lock event's reported anchor).
+	lockAnchor int
+	done       bool
 	// scores is finish's per-shortlist scratch, retained so a scanner
 	// that is reset per frame keeps the streaming decode allocation-free.
 	scores []float64
+	// Batched hunt kernel state (huntbatch.go). foldRing mirrors the
+	// mean/counter rings as one chronological ring of the last StableLen
+	// fold sums; msum and neg are the incremental window sum and negative
+	// count; foldPos is the ring cursor (oldest element). batchValid
+	// marks that this state continues exactly at fold anchor i-foldSpan+1.
+	foldRing    []float64
+	handScratch []float64
+	foldPos     int
+	msum        float64
+	neg         int
+	batchValid  bool
+	gateSlack   float64
 }
 
 // newPreambleScanner returns a scanner whose next consumed phase has
@@ -90,6 +110,13 @@ func (d *Decoder) newPreambleScanner(start int) (*preambleScanner, error) {
 		counter:  counter,
 		mean:     mean,
 		foldSpan: d.p.BitPeriod * PreambleBits,
+		// Batched hunt kernel state (huntbatch.go): the rolling window of
+		// the last StableLen fold sums, and the chronological scratch the
+		// lock handoff rebuilds the scalar rings through. Allocated here,
+		// at setup, so the sustained hunt path never has to.
+		foldRing:    make([]float64, d.p.StableLen),
+		handScratch: make([]float64, d.p.StableLen),
+		gateSlack:   huntGateSlack(d.p),
 	}
 	s.reset(start)
 	return s, nil
@@ -104,11 +131,14 @@ func (s *preambleScanner) reset(start int) {
 	s.counter.Reset()
 	s.mean.Reset()
 	s.i = start
+	s.start = start
 	s.cands = s.cands[:0]
 	s.bestMean = 0
 	s.bestIdx = -1
 	s.remaining = -1
+	s.lockAnchor = 0
 	s.done = false
+	s.batchValid = false
 }
 
 // locked reports whether the detection statistic has crossed the capture
@@ -131,31 +161,27 @@ func (s *preambleScanner) push(phi float64) bool {
 	if !ok {
 		return false
 	}
+	// a is the fold anchor this push completes. Re-anchor the windowed
+	// state at the deterministic absolute positions the batched hunt
+	// kernel re-derives its state at (every huntSegment anchors, once the
+	// windows are full): at those points the incremental sums become pure
+	// functions of the window contents, which is what lets the batch path
+	// skip whole idle segments and still agree with this path to the last
+	// bit (see huntbatch.go).
+	a := i - s.foldSpan + 1
+	if a&(huntSegment-1) == 0 && a-s.start >= s.d.p.StableLen {
+		s.mean.Reanchor()
+		s.counter.Reanchor()
+	}
 	mean := s.mean.Push(sum)
 	full, _, nonneg := s.counter.Push(sum)
 	if !full {
 		return false
 	}
-	// The counter window covers fold anchors
-	// [i-foldSpan+1-StableLen+1 .. i-foldSpan+1].
-	anchor := i - s.foldSpan + 1 - s.d.p.StableLen + 1
+	// The counter window covers fold anchors [a-StableLen+1 .. a].
+	anchor := a - s.d.p.StableLen + 1
 	if mean >= s.d.CaptureThreshold && nonneg >= s.d.p.TauSync {
-		if n := len(s.cands); n > 0 && anchor-s.cands[n-1].anchor < s.d.p.BitPeriod/2 {
-			if mean > s.cands[n-1].mean {
-				s.cands[n-1] = foldCandidate{anchor, mean}
-				if s.cands[n-1].mean > s.bestMean {
-					s.bestMean, s.bestIdx = mean, n-1
-				}
-			}
-		} else {
-			s.cands = append(s.cands, foldCandidate{anchor, mean})
-			if mean > s.bestMean {
-				s.bestMean, s.bestIdx = mean, len(s.cands)-1
-			}
-		}
-		if s.remaining < 0 {
-			s.remaining = 16*s.d.p.BitPeriod + 2*s.d.p.StableLen
-		}
+		s.consider(anchor, mean)
 	}
 	if s.remaining >= 0 {
 		s.remaining--
@@ -163,6 +189,39 @@ func (s *preambleScanner) push(phi float64) bool {
 			s.done = true
 			return true
 		}
+	}
+	return false
+}
+
+// consider records a threshold-crossing anchor, merging it with the
+// previous candidate when they fall within half a bit period (the fold
+// plateau around one preamble produces a run of crossings — keep the
+// strongest). It reports whether this crossing is the first, i.e. the
+// scanner just locked and entered its bounded refinement span.
+//
+//symbee:hotpath
+func (s *preambleScanner) consider(anchor int, mean float64) bool {
+	if n := len(s.cands); n > 0 && anchor-s.cands[n-1].anchor < s.d.p.BitPeriod/2 {
+		if mean > s.cands[n-1].mean {
+			s.cands[n-1] = foldCandidate{anchor, mean}
+			if s.cands[n-1].mean > s.bestMean {
+				s.bestMean, s.bestIdx = mean, n-1
+			}
+		}
+	} else {
+		s.cands = append(s.cands, foldCandidate{anchor, mean})
+		if mean > s.bestMean {
+			s.bestMean, s.bestIdx = mean, len(s.cands)-1
+		}
+	}
+	if s.remaining < 0 {
+		s.remaining = 16*s.d.p.BitPeriod + 2*s.d.p.StableLen
+		// The lock event reports the anchor as of the moment of the
+		// first crossing — later plateau crossings may merge-update
+		// cands[0] in place, and chunked and whole-capture feeds must
+		// emit the same anchor.
+		s.lockAnchor = anchor
+		return true
 	}
 	return false
 }

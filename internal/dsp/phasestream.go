@@ -1,6 +1,9 @@
 package dsp
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // PhaseDiffStreamer computes the idle-listening phase stream
 // incrementally: IQ samples are pushed in arbitrarily sized chunks and
@@ -57,16 +60,63 @@ func (s *PhaseDiffStreamer) Push(x complex128) (phi float64, ok bool) {
 }
 
 // Process pushes every sample of in and appends the phases that become
-// available to out, returning the extended slice. It is the chunk-sized
-// convenience wrapper around Push for hot ingestion paths.
+// available to out, returning the extended slice. It is bit-identical
+// to calling Push per sample; only the first lag samples of a chunk go
+// through the ring — every later sample finds its lag-delayed partner
+// inside the chunk itself, so the body runs as a flat 4-wide unrolled
+// loop over the input with no per-sample ring bookkeeping (the batched
+// front-end half of the idle-hunt kernel).
 //
 //symbee:hotpath
 func (s *PhaseDiffStreamer) Process(in []complex128, out []float64) []float64 {
-	for _, x := range in {
+	// Ring boundary: samples whose partner predates the chunk (or that
+	// are still warming the ring) go through the scalar push.
+	head := s.lag
+	if head > len(in) {
+		head = len(in)
+	}
+	for _, x := range in[:head] {
 		if phi, ok := s.Push(x); ok {
 			out = append(out, phi)
 		}
 	}
+	if head == len(in) {
+		return out
+	}
+	// Flat body: in[n] pairs with in[n-lag]. Same expression and kernel
+	// as Push so the two paths agree to the last bit; the kernel flag is
+	// hoisted so one chunk is computed with one kernel throughout.
+	lag := s.lag
+	if UseExactPhase {
+		for n := lag; n < len(in); n++ {
+			x := in[n]
+			p := in[n-lag] * complex(real(x), -imag(x))
+			out = append(out, math.Atan2(imag(p), real(p)))
+		}
+	} else {
+		n := lag
+		for ; n+4 <= len(in); n += 4 {
+			x0, x1, x2, x3 := in[n], in[n+1], in[n+2], in[n+3]
+			p0 := in[n-lag] * complex(real(x0), -imag(x0))
+			p1 := in[n-lag+1] * complex(real(x1), -imag(x1))
+			p2 := in[n-lag+2] * complex(real(x2), -imag(x2))
+			p3 := in[n-lag+3] * complex(real(x3), -imag(x3))
+			out = append(out,
+				FastAtan2(imag(p0), real(p0)),
+				FastAtan2(imag(p1), real(p1)),
+				FastAtan2(imag(p2), real(p2)),
+				FastAtan2(imag(p3), real(p3)))
+		}
+		for ; n < len(in); n++ {
+			x := in[n]
+			p := in[n-lag] * complex(real(x), -imag(x))
+			out = append(out, FastAtan2(imag(p), real(p)))
+		}
+	}
+	// The ring ends up holding the last lag samples, oldest first.
+	copy(s.ring, in[len(in)-lag:])
+	s.pos = 0
+	s.fill = lag
 	return out
 }
 

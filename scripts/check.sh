@@ -4,10 +4,12 @@
 # library code, then the race detector over the concurrency-bearing
 # packages (the streaming pipeline, the decoder state machine, the link
 # stack, the ARQ layer and the channel simulator it drives), and the
-# link-stack golden-equivalence gate. CI runs this same script, so a
-# green local run means a green check job.
+# equivalence gates. CI runs this same script, so a green local run
+# means a green check job. The -run gate lists and race package scope
+# are shared with the CI workflows via scripts/gates.sh.
 set -eux
 cd "$(dirname "$0")/.."
+. ./scripts/gates.sh
 test -z "$(gofmt -l .)" || { gofmt -l .; echo "gofmt: files above need formatting"; exit 1; }
 go build ./...
 go vet ./...
@@ -17,16 +19,20 @@ go test ./...
 # bounded to two seeds here: one seeded 4 KiB transfer costs ~1 min
 # under the race detector, and the full 100-seed acceptance sweep runs
 # race-free in CI's dedicated soak job.
-RELIABLE_SOAK_RUNS=2 go test -race -timeout 15m ./internal/stream/... ./internal/core/... ./internal/reliable/... ./internal/channel/... ./internal/link/... ./internal/medium/...
+RELIABLE_SOAK_RUNS=2 go test -race -timeout 15m $RACE_PACKAGES
 # Medium-engine equivalence under the race detector: the event-driven
 # lazy synthesizer must reproduce the dense reference bit-for-bit
 # (DESIGN.md §12).
-go test -race ./internal/link/ -run 'TestMediumLinkEquivalence' -count=1
+go test -race ./internal/link/ -run "$MEDIUM_EQUIVALENCE_RUN" -count=1
 # Link-stack equivalence: the committed golden fixtures must decode
 # byte-identically through the reference batch entrypoint and every
 # Stack configuration at every ingest chunk size, and the warm ingest
 # path must stay allocation-free (DESIGN.md §11).
-go test ./internal/link/ -run 'TestGoldenTraceEquivalence|TestStreamingChunkInvariance|TestStackSteadyStateZeroAlloc' -count=1
+go test ./internal/link/ -run "$LINK_EQUIVALENCE_RUN" -count=1
+# Batched idle-hunt kernel equivalence: the chunked batch hunt must
+# match the per-sample reference scanner bit for bit and allocate
+# nothing once warm (DESIGN.md §13).
+go test ./internal/core/ -run "$HUNT_EQUIVALENCE_RUN" -count=1
 # Library code reports errors, it does not panic: the only panic( calls
 # allowed outside tests are the vet suite's own fixtures/doc strings.
 panics="$(grep -rn 'panic(' --include='*.go' cmd internal examples *.go | grep -v _test.go | grep -v '^internal/vet/' || true)"

@@ -1,0 +1,24 @@
+# Shared test-selection gate lists, sourced by scripts/check.sh and the
+# CI workflows (.github/workflows/*.yml) so the two cannot drift: the
+# -run regexes and race-scoped package list live here and only here.
+#
+# POSIX sh; no shebang — this file is sourced, not executed.
+
+# Link-stack bit-exactness gate (DESIGN.md §11): committed golden
+# fixtures through every stack configuration at every chunk size, plus
+# the warm-ingest zero-alloc pins.
+LINK_EQUIVALENCE_RUN='TestGoldenTraceEquivalence|TestStreamingChunkInvariance|TestStackSteadyStateZeroAlloc|TestStackWithSinkZeroAlloc'
+
+# Batched idle-hunt kernel gate (DESIGN.md §13): the chunked batch path
+# must match the per-sample reference scanner bit for bit, and the warm
+# batch hunt must stay allocation-free.
+HUNT_EQUIVALENCE_RUN='TestHuntScalarBatchEquivalence|TestHuntBatchZeroAlloc'
+
+# Medium-engine equivalence (DESIGN.md §12): the event-driven lazy
+# synthesizer must reproduce the dense reference bit-for-bit.
+MEDIUM_EQUIVALENCE_RUN='TestMediumLinkEquivalence'
+
+# Concurrency-bearing packages for race-detector coverage: the
+# streaming pipeline, the decoder state machine, the ARQ layer, the
+# channel simulator, the link stack and the shared-medium engine.
+RACE_PACKAGES='./internal/stream/... ./internal/core/... ./internal/reliable/... ./internal/channel/... ./internal/link/... ./internal/medium/...'
