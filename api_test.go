@@ -44,9 +44,8 @@ func TestPublicSentinelsEndToEnd(t *testing.T) {
 	}
 
 	// ErrWindowFull / ErrTimeout surface from the reliability layer.
-	s, err := reliable.NewSession(lossyTransport{}, reliable.Config{
-		Window: 1, MaxRetries: 1, EscalateAfter: -1, Seed: 1,
-	})
+	s, err := NewSession(WithTransport(lossyTransport{}),
+		WithWindow(1), WithRetries(1), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +58,59 @@ func TestPublicSentinelsEndToEnd(t *testing.T) {
 	}
 }
 
-// lossyTransport loses every frame.
+// lossyTransport loses every frame and never produces an ack.
 type lossyTransport struct{}
 
-func (lossyTransport) Send(f *Frame, coded bool) (*reliable.Ack, time.Duration, error) {
-	return nil, time.Millisecond, nil
+func (lossyTransport) Send(now time.Duration, f *Frame, coded bool) (time.Duration, error) {
+	return time.Millisecond, nil
+}
+
+func (lossyTransport) Acks(now time.Duration) []AckEvent { return nil }
+
+func (lossyTransport) NextArrival(now time.Duration) (time.Duration, bool) { return 0, false }
+
+func (lossyTransport) AckLatency() time.Duration { return 0 }
+
+// The option-based session delivers end to end over the built-in
+// simulated link with a modeled ack downlink, and the reverse channel
+// demonstrably costs airtime.
+func TestNewSessionOptions(t *testing.T) {
+	link, err := NewSimLink(DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	sess, err := NewSession(WithTransport(link), WithWindow(4), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("bidirectional cross-technology session")
+	rep, err := sess.Send(context.Background(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgs := link.Messages(); len(msgs) != 1 || !bytes.Equal(msgs[0], msg) {
+		t.Fatalf("message not delivered: %d messages", len(msgs))
+	}
+	if rep.Airtime <= 0 {
+		t.Fatal("no forward airtime reported")
+	}
+	rs := link.ReverseStats()
+	if rs.AcksSent == 0 || rs.Airtime <= 0 {
+		t.Fatalf("acks rode for free: %+v", rs)
+	}
+
+	// Without WithTransport the session builds its own link; an invalid
+	// option surfaces at construction.
+	if _, err := NewSession(WithDownlink(DownlinkFreeBee), WithSeed(3)); err != nil {
+		t.Fatalf("self-built link: %v", err)
+	}
+	if _, err := NewSession(WithAckRepeat(0)); err == nil {
+		t.Fatal("invalid ack repeat accepted")
+	}
+	if _, err := NewSession(WithWindow(-1)); err == nil {
+		t.Fatal("invalid window accepted")
+	}
 }
 
 // The option-based receiver decodes a chunked capture exactly like the

@@ -55,26 +55,31 @@ type FaultConfig struct {
 // stateful: the frame counter drives the periodic burst and drift
 // windows.
 type FaultInjector struct {
-	cfg   FaultConfig
-	rng   *rand.Rand // loss/ack schedule draws: one per event, never more
-	noise *rand.Rand // jam sample noise, so jamming can't shift the schedule
-	frame int        // frames seen so far
+	cfg     FaultConfig
+	rng     *rand.Rand // forward loss schedule draws: one per frame, never more
+	noise   *rand.Rand // jam sample noise, so jamming can't shift the schedule
+	reverse *rand.Rand // reverse-path (ack) draws, independent of the forward path
+	frame   int        // frames seen so far
 
-	lost   int
-	jammed int
-	drifts int
+	lost     int
+	jammed   int
+	drifts   int
+	acksLost int
 }
 
 // NewFaultInjector returns an injector for the profile. The jam-noise
-// stream is split from the schedule seed through the repo-wide
-// splitmix convention (stream −1 = noise), so the injector, the
-// shared-medium simulator and the multi-sender scenario all derive
-// their side streams the same way.
+// and reverse-path streams are split from the schedule seed through the
+// repo-wide splitmix convention (stream −1 = noise, −2 = reverse), so
+// the injector, the shared-medium simulator and the multi-sender
+// scenario all derive their side streams the same way — and enabling
+// reverse-path faults never shifts which forward frames the loss
+// pattern hits.
 func NewFaultInjector(cfg FaultConfig) *FaultInjector {
 	return &FaultInjector{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		noise: splitmix.New(cfg.Seed, splitmix.NoiseStream),
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		noise:   splitmix.New(cfg.Seed, splitmix.NoiseStream),
+		reverse: splitmix.New(cfg.Seed, splitmix.ReverseStream),
 	}
 }
 
@@ -107,11 +112,21 @@ func (fi *FaultInjector) Apply(capture []complex128) (out []complex128, ok bool)
 	return capture, true
 }
 
-// DropAck reports whether the next reverse-channel acknowledgment is
-// lost.
+// DropAck reports whether the next reverse-channel acknowledgment
+// transmission is lost. Draws come from the injector's private
+// reverse-path stream (splitmix stream −2), so the ack schedule and the
+// forward loss/burst schedule cannot shift each other.
 func (fi *FaultInjector) DropAck() bool {
-	return fi.cfg.AckLoss > 0 && fi.rng.Float64() < fi.cfg.AckLoss
+	if fi.cfg.AckLoss > 0 && fi.reverse.Float64() < fi.cfg.AckLoss {
+		fi.acksLost++
+		return true
+	}
+	return false
 }
+
+// AcksLost reports how many reverse-channel transmissions DropAck has
+// rejected so far.
+func (fi *FaultInjector) AcksLost() int { return fi.acksLost }
 
 // Frames returns the number of data frames the injector has seen.
 func (fi *FaultInjector) Frames() int { return fi.frame }

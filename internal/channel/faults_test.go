@@ -105,6 +105,22 @@ func TestFaultInjectorLossScheduleStable(t *testing.T) {
 	}
 }
 
+// Reverse-path draws live on their own splitmix stream: interleaving
+// DropAck calls must not shift which forward frames the loss pattern
+// hits, and toggling ack loss must not change the forward schedule.
+func TestFaultInjectorReversePathIndependent(t *testing.T) {
+	fwdOnly := NewFaultInjector(FaultConfig{Seed: 11, FrameLoss: 0.3})
+	interleaved := NewFaultInjector(FaultConfig{Seed: 11, FrameLoss: 0.3, AckLoss: 0.5})
+	for i := 0; i < 300; i++ {
+		_, okA := fwdOnly.Apply(testCapture(32))
+		_, okB := interleaved.Apply(testCapture(32))
+		interleaved.DropAck() // reverse draw between every forward frame
+		if okA != okB {
+			t.Fatalf("frame %d: forward loss pattern shifted by reverse-path draws", i)
+		}
+	}
+}
+
 // Ack loss converges to the configured rate.
 func TestFaultInjectorAckLossRate(t *testing.T) {
 	fi := NewFaultInjector(FaultConfig{Seed: 3, AckLoss: 0.25})

@@ -1,6 +1,9 @@
 package ctc
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // CMorse implements C-Morse-style duration modulation: bit 0 is a short
 // ("dot") ZigBee packet and bit 1 a long ("dash") one, separated by
@@ -35,8 +38,39 @@ func (c *CMorse) NominalRate() float64 {
 	return 1 / avg
 }
 
+// errCMorsePoint rejects unusable C-Morse operating points.
+var errCMorsePoint = errors.New("ctc: invalid C-Morse operating point")
+
+// Validate implements Scheme.
+func (c *CMorse) Validate() error {
+	switch {
+	case c.Dot <= 0 || c.Gap <= 0:
+		return fmt.Errorf("%w: non-positive dot %v or gap %v", errCMorsePoint, c.Dot, c.Gap)
+	case c.Dash <= c.Dot:
+		return fmt.Errorf("%w: dash %v not longer than dot %v (duration classes inseparable)",
+			errCMorsePoint, c.Dash, c.Dot)
+	}
+	return nil
+}
+
+// Occupancy implements Scheme: the balanced-data expectation — half
+// dots, half dashes, one gap per bit.
+func (c *CMorse) Occupancy(nBits int) (wall, air float64, err error) {
+	if err := c.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if nBits <= 0 {
+		return 0, 0, fmt.Errorf("%w: %d", errNBits, nBits)
+	}
+	avg := (c.Dot + c.Dash) / 2
+	return float64(nBits) * (avg + c.Gap), float64(nBits) * avg, nil
+}
+
 // Encode implements Scheme.
 func (c *CMorse) Encode(m *Medium, bits []byte, start, snrDB float64) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
 	t := start
 	for _, b := range bits {
 		d := c.Dot

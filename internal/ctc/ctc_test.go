@@ -6,12 +6,22 @@ import (
 	"testing"
 )
 
-func TestMediumBurstsAndDetection(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	m, err := NewMedium(1.0, 100e3, rng)
+// newTestMedium builds a medium from the default config with the given
+// duration and seed.
+func newTestMedium(t *testing.T, duration float64, seed int64) *Medium {
+	t.Helper()
+	cfg := DefaultMedium()
+	cfg.Duration = duration
+	cfg.Seed = seed
+	m, err := NewMedium(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return m
+}
+
+func TestMediumBurstsAndDetection(t *testing.T) {
+	m := newTestMedium(t, 1.0, 1)
 	m.AddBurst(0.1, 0.001, 20)
 	m.AddBurst(0.2, 0.003, 20)
 	bursts := m.DetectBursts(6, 0.2e-3, 0.3e-3)
@@ -27,21 +37,32 @@ func TestMediumBurstsAndDetection(t *testing.T) {
 }
 
 func TestMediumValidation(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
-	if _, err := NewMedium(0, 100e3, rng); err == nil {
+	if _, err := NewMedium(MediumConfig{Rate: 100e3}); err == nil {
 		t.Error("expected error for zero duration")
 	}
-	if _, err := NewMedium(1, 0, rng); err == nil {
+	if _, err := NewMedium(MediumConfig{Duration: 1}); err == nil {
 		t.Error("expected error for zero rate")
+	}
+	if DefaultMedium().Validate() == nil {
+		t.Error("DefaultMedium must not validate until Duration is set")
+	}
+}
+
+func TestMediumNoiseDeterministic(t *testing.T) {
+	a := newTestMedium(t, 0.5, 9)
+	b := newTestMedium(t, 0.5, 9)
+	if a.MeanRSSI(0, 0.5) != b.MeanRSSI(0, 0.5) {
+		t.Error("same seed must reproduce the noise fill")
+	}
+	c := newTestMedium(t, 0.5, 10)
+	if a.MeanRSSI(0, 0.5) == c.MeanRSSI(0, 0.5) {
+		t.Error("different seeds must change the noise fill")
 	}
 }
 
 func TestMediumInterferenceDuty(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	m, err := NewMedium(5, 100e3, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
+	m := newTestMedium(t, 5, 3)
 	m.AddInterference(0.3, 1e-3, 20, rng)
 	bursts := m.DetectBursts(6, 0.2e-3, 0.3e-3)
 	var busy float64
@@ -88,10 +109,7 @@ func TestSchemesRoundTripClean(t *testing.T) {
 				bits[i] = byte(rng.Intn(2))
 			}
 			duration := float64(len(bits))/s.NominalRate()*1.5 + 1
-			m, err := NewMedium(duration, 100e3, rng)
-			if err != nil {
-				t.Fatal(err)
-			}
+			m := newTestMedium(t, duration, 4)
 			if _, err := s.Encode(m, bits, 0.1, 20); err != nil {
 				t.Fatal(err)
 			}
@@ -148,15 +166,127 @@ func TestMeasureUnderInterferenceDegrades(t *testing.T) {
 }
 
 func TestEncodeTooShortMedium(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	m, err := NewMedium(0.01, 100e3, rng)
-	if err != nil {
-		t.Fatal(err)
-	}
+	m := newTestMedium(t, 0.01, 7)
 	bits := make([]byte, 100)
 	for _, s := range All() {
 		if _, err := s.Encode(m, bits, 0, 20); err == nil {
 			t.Errorf("%s: expected error on too-short medium", s.Name())
 		}
+	}
+}
+
+func TestSchemeValidateOperatingPoints(t *testing.T) {
+	// Every published operating point validates.
+	for _, s := range All() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: published point invalid: %v", s.Name(), err)
+		}
+	}
+	// Broken points are rejected by Validate, Encode and Occupancy alike.
+	broken := []Scheme{
+		&FreeBee{Interval: 10e-3, Granularity: 1e-3, BitsPerBeacon: 4, Repeat: 2, BeaconDuration: 576e-6},
+		&FreeBee{Interval: 102.4e-3, Granularity: 1e-3, BitsPerBeacon: 4, Repeat: 0, BeaconDuration: 576e-6},
+		&CMorse{Dot: 1e-3, Dash: 0.5e-3, Gap: 3.5e-3},
+		&CMorse{Dot: 0, Dash: 1e-3, Gap: 3.5e-3},
+		&DCTC{PacketDuration: 1e-3, MinGap: 2e-3, GapStep: 0, BitsPerGap: 2},
+		&EMF{SlotDuration: 1e-3, SlotsPerFrame: 1, PacketDuration: 0.5e-3},
+		&EMF{SlotDuration: 1e-3, SlotsPerFrame: 5, PacketDuration: 2e-3},
+	}
+	m := newTestMedium(t, 5, 8)
+	for _, s := range broken {
+		if s.Validate() == nil {
+			t.Errorf("%T: broken point validated", s)
+		}
+		if _, err := s.Encode(m, []byte{0, 1}, 0.1, 20); err == nil {
+			t.Errorf("%T: Encode accepted broken point", s)
+		}
+		if _, _, err := s.Occupancy(8); err == nil {
+			t.Errorf("%T: Occupancy accepted broken point", s)
+		}
+	}
+}
+
+func TestOccupancyMatchesEncode(t *testing.T) {
+	// On balanced data the occupancy model must agree with the airtime
+	// Encode actually reports, and air can never exceed wall.
+	for _, s := range All() {
+		if _, _, err := s.Occupancy(0); err == nil {
+			t.Errorf("%s: Occupancy accepted zero bits", s.Name())
+		}
+		wall, air, err := s.Occupancy(40)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if wall <= 0 || air <= 0 || air > wall {
+			t.Fatalf("%s: wall=%v air=%v", s.Name(), wall, air)
+		}
+		bits := make([]byte, 40)
+		for i := range bits {
+			bits[i] = byte(i % 2) // balanced
+		}
+		m := newTestMedium(t, wall*2+1, 11)
+		enc, err := s.Encode(m, bits, 0.1, 20)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if enc < 0.8*wall || enc > 1.2*wall {
+			t.Errorf("%s: Encode airtime %v vs Occupancy wall %v", s.Name(), enc, wall)
+		}
+	}
+}
+
+func TestDownlinkTimingModel(t *testing.T) {
+	d, err := NewDownlink(DefaultDownlink(NewCMorse()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SchemeName() != "C-Morse" {
+		t.Errorf("scheme = %s", d.SchemeName())
+	}
+	// 8 bits at the published point: 8·((0.576+1.728)/2 + 3.5) ms wall,
+	// 8·1.152 ms air.
+	if w := d.AckWall(); math.Abs(w-37.216e-3) > 1e-6 {
+		t.Errorf("wall = %v, want ≈37.2 ms", w)
+	}
+	if a := d.AckAir(); math.Abs(a-9.216e-3) > 1e-6 {
+		t.Errorf("air = %v, want ≈9.2 ms", a)
+	}
+	if d.Duty() <= 0 || d.Duty() >= 1 {
+		t.Errorf("duty = %v", d.Duty())
+	}
+	if d.Latency() != d.BaseLatency()+d.AckWall() {
+		t.Errorf("latency %v != base %v + wall %v", d.Latency(), d.BaseLatency(), d.AckWall())
+	}
+	// FreeBee is far slower but far lower duty.
+	fb, err := NewDownlink(DefaultDownlink(NewFreeBee()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.AckWall() <= d.AckWall() {
+		t.Errorf("FreeBee wall %v should exceed C-Morse wall %v", fb.AckWall(), d.AckWall())
+	}
+	if fb.Duty() >= d.Duty() {
+		t.Errorf("FreeBee duty %v should be below C-Morse duty %v", fb.Duty(), d.Duty())
+	}
+}
+
+func TestDownlinkConfigValidate(t *testing.T) {
+	cases := []DownlinkConfig{
+		{},
+		{Scheme: NewCMorse(), AckBits: 0, Repeat: 1},
+		{Scheme: NewCMorse(), AckBits: 8, BaseLatency: -1e-3, Repeat: 1},
+		{Scheme: NewCMorse(), AckBits: 8, Repeat: 0},
+		{Scheme: &CMorse{Dot: 1e-3, Dash: 0.5e-3, Gap: 1e-3}, AckBits: 8, Repeat: 1},
+	}
+	for i, c := range cases {
+		if c.Validate() == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+		if _, err := NewDownlink(c); err == nil {
+			t.Errorf("case %d: NewDownlink accepted invalid config", i)
+		}
+	}
+	if err := DefaultDownlink(NewFreeBee()).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package ctc
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -40,9 +41,44 @@ func (d *DCTC) NominalRate() float64 {
 	return float64(d.BitsPerGap) / (d.PacketDuration + avgGap)
 }
 
+// errDCTCPoint rejects unusable DCTC operating points.
+var errDCTCPoint = errors.New("ctc: invalid DCTC operating point")
+
+// Validate implements Scheme.
+func (d *DCTC) Validate() error {
+	switch {
+	case d.PacketDuration <= 0 || d.MinGap <= 0 || d.GapStep <= 0:
+		return fmt.Errorf("%w: non-positive packet %v, gap %v or step %v",
+			errDCTCPoint, d.PacketDuration, d.MinGap, d.GapStep)
+	case d.BitsPerGap < 1 || d.BitsPerGap > 8:
+		return fmt.Errorf("%w: BitsPerGap %d", errDCTCPoint, d.BitsPerGap)
+	}
+	return nil
+}
+
+// Occupancy implements Scheme: the leading packet plus one packet per
+// symbol after its expected (balanced-data) gap.
+func (d *DCTC) Occupancy(nBits int) (wall, air float64, err error) {
+	if err := d.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if nBits <= 0 {
+		return 0, 0, fmt.Errorf("%w: %d", errNBits, nBits)
+	}
+	syms := (nBits + d.BitsPerGap - 1) / d.BitsPerGap
+	gaps := 1 << d.BitsPerGap
+	avgGap := d.MinGap + d.GapStep*float64(gaps-1)/2
+	wall = d.PacketDuration + float64(syms)*(avgGap+d.PacketDuration)
+	air = float64(1+syms) * d.PacketDuration
+	return wall, air, nil
+}
+
 // Encode implements Scheme: a leading packet, then one packet per
 // symbol whose preceding gap carries the bits.
 func (d *DCTC) Encode(m *Medium, bits []byte, start, snrDB float64) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
 	t := start
 	if t+d.PacketDuration > m.Duration() {
 		return 0, fmt.Errorf("ctc: medium too short for DCTC encoding")

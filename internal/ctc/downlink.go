@@ -1,0 +1,111 @@
+package ctc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DownlinkConfig parameterizes an acknowledgment downlink built on a
+// packet-level Scheme: the WiFi side carries each ARQ ack back to the
+// ZigBee sender as an AckBits-bit message through the scheme, so one
+// ack copy occupies the reverse channel for the scheme's wall-clock
+// occupancy and spends the scheme's on-air time of it actually
+// radiating (the part that can collide with forward frames). No field
+// doubles as a sentinel; start from DefaultDownlink and override what
+// the link needs.
+type DownlinkConfig struct {
+	// Scheme carries the ack bits (required).
+	Scheme Scheme
+	// AckBits is the ack message size in bits (> 0; DefaultDownlink
+	// fills 8 — a go-back-N cumulative ack is one sequence byte).
+	AckBits int
+	// BaseLatency is the fixed decode/turnaround delay in seconds
+	// between the forward frame ending at the WiFi receiver and the
+	// ack transmission being ready to start. Taken literally: 0 models
+	// an instant turnaround.
+	BaseLatency float64
+	// Repeat transmits each committed ack this many times (≥ 1).
+	// Packet-level downlinks repeat for loss protection, at the price
+	// of duplicate acks arriving back at the sender.
+	Repeat int
+}
+
+// DefaultDownlink returns the baseline downlink configuration over s:
+// one-byte cumulative acks, a 1 ms turnaround, no repetition.
+func DefaultDownlink(s Scheme) DownlinkConfig {
+	return DownlinkConfig{Scheme: s, AckBits: 8, BaseLatency: 1e-3, Repeat: 1}
+}
+
+// DownlinkConfig validation errors.
+var (
+	errDownlinkScheme  = errors.New("ctc: downlink needs a scheme")
+	errDownlinkAckBits = errors.New("ctc: downlink AckBits must be positive")
+	errDownlinkLatency = errors.New("ctc: negative downlink BaseLatency")
+	errDownlinkRepeat  = errors.New("ctc: downlink Repeat must be at least 1")
+)
+
+// Validate reports the first structural problem with the config,
+// including an invalid scheme operating point.
+func (c DownlinkConfig) Validate() error {
+	switch {
+	case c.Scheme == nil:
+		return errDownlinkScheme
+	case c.AckBits <= 0:
+		return fmt.Errorf("%w: %d", errDownlinkAckBits, c.AckBits)
+	case c.BaseLatency < 0:
+		return fmt.Errorf("%w: %v", errDownlinkLatency, c.BaseLatency)
+	case c.Repeat < 1:
+		return fmt.Errorf("%w: %d", errDownlinkRepeat, c.Repeat)
+	}
+	return c.Scheme.Validate()
+}
+
+// Downlink is the computed timing model of one ack downlink: how long
+// one ack copy occupies the reverse channel, how much of that span is
+// on the air, and the turnaround latency before the first copy can
+// start. The reliability layer builds its reverse-channel simulation
+// on these three numbers.
+type Downlink struct {
+	cfg  DownlinkConfig
+	wall float64
+	air  float64
+}
+
+// NewDownlink resolves the config against the scheme's occupancy model.
+func NewDownlink(cfg DownlinkConfig) (*Downlink, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	wall, air, err := cfg.Scheme.Occupancy(cfg.AckBits)
+	if err != nil {
+		return nil, fmt.Errorf("ctc: %s downlink: %w", cfg.Scheme.Name(), err)
+	}
+	return &Downlink{cfg: cfg, wall: wall, air: air}, nil
+}
+
+// SchemeName identifies the carrying scheme.
+func (d *Downlink) SchemeName() string { return d.cfg.Scheme.Name() }
+
+// AckWall is the wall-clock span in seconds one ack copy occupies the
+// reverse channel, from its first symbol to its last.
+func (d *Downlink) AckWall() float64 { return d.wall }
+
+// AckAir is the on-air transmit time in seconds within one copy's wall
+// span — the part that costs airtime and can collide.
+func (d *Downlink) AckAir() float64 { return d.air }
+
+// BaseLatency is the fixed turnaround delay in seconds before a copy
+// can start.
+func (d *Downlink) BaseLatency() float64 { return d.cfg.BaseLatency }
+
+// Repeat is how many copies of each committed ack are sent.
+func (d *Downlink) Repeat() int { return d.cfg.Repeat }
+
+// Latency is the nominal ack delay in seconds on an idle reverse
+// channel: the turnaround plus one copy's wall span (the ack decodes
+// when its last symbol lands).
+func (d *Downlink) Latency() float64 { return d.cfg.BaseLatency + d.wall }
+
+// Duty is the fraction of an ack span spent on the air — the collision
+// cross-section a forward frame sees while an ack copy is in flight.
+func (d *Downlink) Duty() float64 { return d.air / d.wall }

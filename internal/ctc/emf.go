@@ -1,6 +1,9 @@
 package ctc
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // EMF embeds information in the energy pattern of existing traffic:
 // time is divided into frames of SlotsPerFrame slots; the presence or
@@ -34,8 +37,44 @@ func (e *EMF) NominalRate() float64 {
 	return float64(e.SlotsPerFrame-1) / (e.SlotDuration * float64(e.SlotsPerFrame))
 }
 
+// errEMFPoint rejects unusable EMF operating points.
+var errEMFPoint = errors.New("ctc: invalid EMF operating point")
+
+// Validate implements Scheme.
+func (e *EMF) Validate() error {
+	switch {
+	case e.SlotDuration <= 0 || e.PacketDuration <= 0:
+		return fmt.Errorf("%w: non-positive slot %v or packet %v",
+			errEMFPoint, e.SlotDuration, e.PacketDuration)
+	case e.SlotsPerFrame < 2:
+		return fmt.Errorf("%w: SlotsPerFrame %d leaves no data slots", errEMFPoint, e.SlotsPerFrame)
+	case e.PacketDuration > e.SlotDuration:
+		return fmt.Errorf("%w: packet %v overruns slot %v", errEMFPoint, e.PacketDuration, e.SlotDuration)
+	}
+	return nil
+}
+
+// Occupancy implements Scheme: whole frames, one marker packet each and
+// the balanced-data expectation of half the data slots filled.
+func (e *EMF) Occupancy(nBits int) (wall, air float64, err error) {
+	if err := e.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if nBits <= 0 {
+		return 0, 0, fmt.Errorf("%w: %d", errNBits, nBits)
+	}
+	dataSlots := e.SlotsPerFrame - 1
+	frames := (nBits + dataSlots - 1) / dataSlots
+	wall = float64(frames) * e.SlotDuration * float64(e.SlotsPerFrame)
+	air = float64(frames) * e.PacketDuration * (1 + float64(dataSlots)/2)
+	return wall, air, nil
+}
+
 // Encode implements Scheme.
 func (e *EMF) Encode(m *Medium, bits []byte, start, snrDB float64) (float64, error) {
+	if err := e.Validate(); err != nil {
+		return 0, err
+	}
 	dataSlots := e.SlotsPerFrame - 1
 	frame := 0
 	for i := 0; i < len(bits); i += dataSlots {

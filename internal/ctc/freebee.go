@@ -1,6 +1,7 @@
 package ctc
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -62,11 +63,48 @@ func (f *FreeBee) NominalRate() float64 {
 
 func (f *FreeBee) positions() int { return 1 << f.BitsPerBeacon }
 
+// FreeBee operating-point errors.
+var (
+	errFreeBeePoint = errors.New("ctc: invalid FreeBee operating point")
+	errFreeBeeShift = errors.New("ctc: FreeBee shifts exceed half the beacon interval")
+)
+
+// Validate implements Scheme.
+func (f *FreeBee) Validate() error {
+	switch {
+	case f.Interval <= 0 || f.Granularity <= 0 || f.BeaconDuration <= 0:
+		return fmt.Errorf("%w: non-positive interval %v, granularity %v or beacon %v",
+			errFreeBeePoint, f.Interval, f.Granularity, f.BeaconDuration)
+	case f.BitsPerBeacon < 1 || f.BitsPerBeacon > 16:
+		return fmt.Errorf("%w: BitsPerBeacon %d", errFreeBeePoint, f.BitsPerBeacon)
+	case f.Repeat < 1:
+		return fmt.Errorf("%w: Repeat %d", errFreeBeePoint, f.Repeat)
+	case f.Granularity*float64(f.positions()) > f.Interval/2:
+		return fmt.Errorf("%w: %d positions × %v s vs %v s interval",
+			errFreeBeeShift, f.positions(), f.Granularity, f.Interval)
+	}
+	return nil
+}
+
+// Occupancy implements Scheme: one sync beacon plus Repeat copies of
+// each data beacon, strung along the beacon grid.
+func (f *FreeBee) Occupancy(nBits int) (wall, air float64, err error) {
+	if err := f.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if nBits <= 0 {
+		return 0, 0, fmt.Errorf("%w: %d", errNBits, nBits)
+	}
+	syms := (nBits + f.BitsPerBeacon - 1) / f.BitsPerBeacon
+	beacons := 1 + syms*f.Repeat
+	return float64(beacons) * f.Interval, float64(beacons) * f.BeaconDuration, nil
+}
+
 // Encode implements Scheme: a sync beacon followed by the data beacons,
 // each displaced from the grid by its shift index.
 func (f *FreeBee) Encode(m *Medium, bits []byte, start, snrDB float64) (float64, error) {
-	if f.Granularity*float64(f.positions()) > f.Interval/2 {
-		return 0, fmt.Errorf("ctc: FreeBee shifts exceed half the beacon interval")
+	if err := f.Validate(); err != nil {
+		return 0, err
 	}
 	place := func(beacon int, shift int) error {
 		t := start + float64(beacon)*f.Interval + float64(shift)*f.Granularity

@@ -1,9 +1,12 @@
 package ctc
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"symbee/internal/splitmix"
 )
 
 // Medium is a shared RSSI timeline: linear received power per sample at
@@ -15,14 +18,57 @@ type Medium struct {
 	rssi []float64
 }
 
-// NewMedium allocates a medium covering duration seconds sampled at
-// rate Hz, pre-filled with noise drawn from rng.
-func NewMedium(duration, rate float64, rng *rand.Rand) (*Medium, error) {
-	if duration <= 0 || rate <= 0 {
-		return nil, fmt.Errorf("ctc: non-positive duration %v or rate %v", duration, rate)
+// MediumConfig parameterizes one shared RSSI timeline. Like
+// medium.Config, no field doubles as a sentinel: every value is taken
+// literally. Start from DefaultMedium() and override what the run
+// needs.
+type MediumConfig struct {
+	// Duration is the covered timespan in seconds (> 0; DefaultMedium
+	// leaves it zero on purpose — there is no implicit run length).
+	Duration float64
+	// Rate is the RSSI sampling rate in Hz (> 0; DefaultMedium fills
+	// 100 kHz, ≈10 µs timing resolution, comparable to commodity RSSI
+	// registers).
+	Rate float64
+	// Seed drives the noise fill. The noise generator is split from it
+	// through the repo-wide splitmix convention (stream −1), so a
+	// scenario that also seeds senders from the same value never
+	// correlates its noise with their schedules.
+	Seed int64
+}
+
+// DefaultMedium returns the baseline medium configuration. Duration is
+// left zero; the caller must set it (Validate rejects it unset).
+func DefaultMedium() MediumConfig {
+	return MediumConfig{Rate: defaultRSSIRate}
+}
+
+// MediumConfig validation errors.
+var (
+	errMediumDuration = errors.New("ctc: medium Duration must be positive")
+	errMediumRate     = errors.New("ctc: medium Rate must be positive")
+)
+
+// Validate reports the first structural problem with the config.
+func (c MediumConfig) Validate() error {
+	switch {
+	case c.Duration <= 0:
+		return fmt.Errorf("%w: %v", errMediumDuration, c.Duration)
+	case c.Rate <= 0:
+		return fmt.Errorf("%w: %v", errMediumRate, c.Rate)
 	}
-	n := int(math.Ceil(duration * rate))
-	m := &Medium{rate: rate, rssi: make([]float64, n)}
+	return nil
+}
+
+// NewMedium allocates a medium covering cfg.Duration seconds sampled at
+// cfg.Rate Hz, pre-filled with seeded noise.
+func NewMedium(cfg MediumConfig) (*Medium, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := int(math.Ceil(cfg.Duration * cfg.Rate))
+	m := &Medium{rate: cfg.Rate, rssi: make([]float64, n)}
+	rng := splitmix.New(cfg.Seed, splitmix.NoiseStream)
 	for i := range m.rssi {
 		m.rssi[i] = rng.ExpFloat64() // unit-mean noise power
 	}

@@ -1,6 +1,7 @@
 package ctc
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 )
@@ -12,6 +13,19 @@ type Scheme interface {
 	Name() string
 	// NominalRate is the scheme's raw data rate in bits/second.
 	NominalRate() float64
+	// Validate reports whether the scheme's operating point is usable:
+	// positive durations, shift alphabets that fit their grid, and so
+	// on. Encode and Occupancy reject invalid points with the same
+	// error.
+	Validate() error
+	// Occupancy returns the expected channel occupancy of one
+	// nBits-bit message over balanced data: wall is the elapsed channel
+	// time from first to last symbol (including framing and trailing
+	// gaps), air the on-air transmit time within it, both in seconds.
+	// Schemes whose timing depends on the data (C-Morse durations, DCTC
+	// gaps) report the balanced-data expectation, which is what a
+	// downlink budget needs.
+	Occupancy(nBits int) (wall, air float64, err error)
 	// Encode places the transmission for bits onto m starting at time
 	// start (seconds) with the given burst SNR, returning the airtime
 	// consumed.
@@ -20,6 +34,9 @@ type Scheme interface {
 	// returned when detection loses packets.
 	Decode(m *Medium, nBits int) ([]byte, error)
 }
+
+// errNBits rejects Occupancy calls for empty messages.
+var errNBits = errors.New("ctc: Occupancy needs a positive bit count")
 
 // Result summarizes one measured run of a scheme.
 type Result struct {
@@ -38,9 +55,14 @@ func Measure(s Scheme, nBits int, detectionSNR float64, interference *Interferen
 	for i := range bits {
 		bits[i] = byte(rng.Intn(2))
 	}
-	// Generous timeline: nominal airtime plus margin.
-	duration := float64(nBits)/s.NominalRate()*1.5 + 1
-	m, err := NewMedium(duration, defaultRSSIRate, rng)
+	// Generous timeline: nominal airtime plus margin. The medium's
+	// noise seed is drawn from the caller's rng so repeated Measure
+	// calls see fresh noise while staying reproducible.
+	m, err := NewMedium(MediumConfig{
+		Duration: float64(nBits)/s.NominalRate()*1.5 + 1,
+		Rate:     defaultRSSIRate,
+		Seed:     rng.Int63(),
+	})
 	if err != nil {
 		return Result{}, err
 	}

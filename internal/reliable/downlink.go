@@ -1,0 +1,306 @@
+package reliable
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"symbee/internal/ctc"
+)
+
+// DownlinkScheme selects the WiFi→ZigBee reverse-channel model that
+// carries acknowledgments back to the sender. The non-ideal schemes are
+// the packet-level side channels of internal/ctc, resolved through
+// ctc.NewDownlink at their published operating points with one-byte
+// cumulative acks.
+type DownlinkScheme int
+
+const (
+	// DownlinkIdeal is the legacy free-reverse-channel assumption: acks
+	// arrive the instant the forward frame is delivered, cost no air,
+	// are never lost on the reverse path and never collide. It exists
+	// so the clean-channel overhead baseline stays measurable.
+	DownlinkIdeal DownlinkScheme = iota
+	// DownlinkCMorse carries acks by C-Morse duration modulation:
+	// ≈37 ms per one-byte ack at ≈25% duty — fast enough to keep the
+	// forward pipe busy, but every ack span is a real collision window.
+	DownlinkCMorse
+	// DownlinkFreeBee carries acks by FreeBee beacon-timing shifts:
+	// ≈512 ms per one-byte ack at ≈0.6% duty — nearly collision-free,
+	// but the ack latency dominates the round trip.
+	DownlinkFreeBee
+)
+
+// String names the scheme as it appears in bench artifacts.
+func (d DownlinkScheme) String() string {
+	switch d {
+	case DownlinkIdeal:
+		return "ideal"
+	case DownlinkCMorse:
+		return "cmorse"
+	case DownlinkFreeBee:
+		return "freebee"
+	}
+	return "unknown"
+}
+
+// DownlinkSchemes lists every modeled reverse channel, ideal first.
+func DownlinkSchemes() []DownlinkScheme {
+	return []DownlinkScheme{DownlinkIdeal, DownlinkCMorse, DownlinkFreeBee}
+}
+
+// errDownlink rejects unknown DownlinkScheme values.
+var errDownlink = errors.New("reliable: unknown downlink scheme")
+
+// timing resolves the per-ack-copy occupancy of the scheme: the
+// wall-clock span one copy holds the reverse channel, the on-air time
+// within it, and the fixed turnaround before the first copy can start.
+func (d DownlinkScheme) timing() (wall, air, base time.Duration, err error) {
+	if d == DownlinkIdeal {
+		return 0, 0, 0, nil
+	}
+	var s ctc.Scheme
+	switch d {
+	case DownlinkCMorse:
+		s = ctc.NewCMorse()
+	case DownlinkFreeBee:
+		s = ctc.NewFreeBee()
+	default:
+		return 0, 0, 0, fmt.Errorf("%w: %d", errDownlink, d)
+	}
+	dl, err := ctc.NewDownlink(ctc.DefaultDownlink(s))
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("reliable: %w", err)
+	}
+	sec := func(x float64) time.Duration { return time.Duration(x * float64(time.Second)) }
+	return sec(dl.AckWall()), sec(dl.AckAir()), sec(dl.BaseLatency()), nil
+}
+
+// AckEvent is one acknowledgment arriving at the sender over the
+// reverse channel.
+type AckEvent struct {
+	// Ack is the cumulative acknowledgment content.
+	Ack Ack
+	// GeneratedAt is when the receiver generated the ack on the
+	// transport clock — the end of the forward frame that triggered it.
+	// It stands in for the ack token a real downlink would carry, and
+	// is what lets the sender tell a fresh ack from a stale one that
+	// spent its latency in flight.
+	GeneratedAt time.Duration
+	// At is when the ack finished arriving at the sender (its last
+	// reverse-channel symbol landed).
+	At time.Duration
+}
+
+// ReverseStats summarizes one transport's reverse-channel activity.
+type ReverseStats struct {
+	// AcksSent counts committed ack copies put on the air.
+	AcksSent int
+	// AcksCoalesced counts acks superseded by a newer cumulative ack
+	// before their transmission started.
+	AcksCoalesced int
+	// AcksDropped counts copies lost on the reverse path.
+	AcksDropped int
+	// AckCollisions counts copies destroyed by an overlapping forward
+	// frame.
+	AckCollisions int
+	// ForwardCollisions counts forward frames destroyed by an
+	// overlapping ack burst.
+	ForwardCollisions int
+	// Airtime is the reverse on-air time spent.
+	Airtime time.Duration
+}
+
+// ackCopy is one committed reverse-channel transmission of an ack.
+type ackCopy struct {
+	ack        Ack
+	gen        time.Duration // when the receiver generated the ack
+	start, end time.Duration // reverse-channel occupancy span
+	dropped    bool          // lost (reverse fault or collision): never arrives
+}
+
+// pendingAck is the newest cumulative ack queued behind the serial
+// reverse transmitter, not yet started. A newer ack generated before it
+// starts replaces it — cumulative acks make the older one redundant.
+type pendingAck struct {
+	ack   Ack
+	gen   time.Duration
+	start time.Duration
+	drop  bool // scripted loss for this ack's copies (tests)
+}
+
+// reverseChannel models the serial WiFi→ZigBee ack downlink shared by
+// every Transport implementation in this package. It is discrete-event:
+// callers push generations at forward-frame delivery instants and pull
+// arrivals with explicit `now` stamps, so the model needs no clock of
+// its own and composes with both virtual and wall clocks.
+type reverseChannel struct {
+	wall, air, base time.Duration // per-copy occupancy, on-air time, turnaround
+	repeat          int           // copies per committed ack
+	dropCopy        func() bool   // per-copy reverse loss draw (nil = lossless)
+	collide         *rand.Rand    // collision draws (nil = never collides)
+
+	busyUntil time.Duration // serial transmitter: when the last copy ends
+	pending   *pendingAck
+	inFlight  []ackCopy
+	stats     ReverseStats
+}
+
+// newReverseChannel builds the downlink for the scheme. repeat ≥ 1 is
+// the caller's responsibility (SimConfig.Validate enforces it).
+func newReverseChannel(scheme DownlinkScheme, repeat int, dropCopy func() bool, collide *rand.Rand) (*reverseChannel, error) {
+	wall, air, base, err := scheme.timing()
+	if err != nil {
+		return nil, err
+	}
+	return &reverseChannel{
+		wall: wall, air: air, base: base,
+		repeat:   repeat,
+		dropCopy: dropCopy,
+		collide:  collide,
+	}, nil
+}
+
+// latency is the nominal one-way ack delay on an idle reverse channel:
+// turnaround plus one copy's span (the ack decodes when its last symbol
+// lands).
+func (rc *reverseChannel) latency() time.Duration { return rc.base + rc.wall }
+
+// advance commits the pending ack once simulated time reaches its start
+// instant: its copies are scheduled serially, each drawing its reverse
+// loss, and the transmitter is busy until the last one ends. Callers
+// invoke it with every observed `now`, so commitment order follows
+// simulated time regardless of which accessor runs first.
+func (rc *reverseChannel) advance(now time.Duration) {
+	p := rc.pending
+	if p == nil || p.start > now {
+		return
+	}
+	rc.pending = nil
+	for k := 0; k < rc.repeat; k++ {
+		c := ackCopy{
+			ack:   p.ack,
+			gen:   p.gen,
+			start: p.start + time.Duration(k)*rc.wall,
+			end:   p.start + time.Duration(k+1)*rc.wall,
+		}
+		if p.drop || (rc.dropCopy != nil && rc.dropCopy()) {
+			c.dropped = true
+			rc.stats.AcksDropped++
+		}
+		rc.inFlight = append(rc.inFlight, c)
+		rc.stats.AcksSent++
+		rc.stats.Airtime += rc.air
+	}
+	rc.busyUntil = p.start + time.Duration(rc.repeat)*rc.wall
+}
+
+// generate hands the receiver's cumulative ack to the downlink at time
+// gen (the forward frame's delivery instant). The copy starts after the
+// turnaround, or when the serial transmitter frees up, whichever is
+// later; a still-queued older ack is coalesced away. drop forces every
+// copy of this ack to be lost (scripted tests; simulated links draw
+// per-copy through dropCopy instead).
+func (rc *reverseChannel) generate(gen time.Duration, ack Ack, drop bool) {
+	rc.advance(gen)
+	start := gen + rc.base
+	if rc.busyUntil > start {
+		start = rc.busyUntil
+	}
+	if rc.pending != nil {
+		rc.stats.AcksCoalesced++
+	}
+	rc.pending = &pendingAck{ack: ack, gen: gen, start: start, drop: drop}
+}
+
+// collideForward resolves the half-duplex interaction between a forward
+// frame on the air over [start, end] and every reverse copy whose span
+// overlaps it. The reverse transmitter radiates air/wall (duty) of an
+// ack span, so the forward frame is destroyed with probability duty per
+// overlapping copy; the forward frame radiates continuously, so the
+// copy is destroyed with probability overlap/wall (the fraction of its
+// span the frame covers). Both draws come from the collision stream and
+// are consumed for every overlapping pair, killed or not, so one
+// outcome never shifts the next pair's draw. It reports whether the
+// forward frame was destroyed. Callers must advance(end) first so
+// copies starting mid-frame participate.
+func (rc *reverseChannel) collideForward(start, end time.Duration) bool {
+	if rc.collide == nil || rc.wall <= 0 {
+		return false
+	}
+	duty := float64(rc.air) / float64(rc.wall)
+	killed := false
+	for i := range rc.inFlight {
+		c := &rc.inFlight[i]
+		lo, hi := c.start, c.end
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		if hi <= lo {
+			continue
+		}
+		fwdDraw := rc.collide.Float64()
+		copyDraw := rc.collide.Float64()
+		if fwdDraw < duty {
+			if !killed {
+				rc.stats.ForwardCollisions++
+			}
+			killed = true
+		}
+		if copyDraw < float64(hi-lo)/float64(c.end-c.start) && !c.dropped {
+			c.dropped = true
+			rc.stats.AckCollisions++
+		}
+	}
+	return killed
+}
+
+// acks drains every copy that has fully arrived by now, in arrival
+// order, skipping dropped ones.
+func (rc *reverseChannel) acks(now time.Duration) []AckEvent {
+	rc.advance(now)
+	var out []AckEvent
+	keep := rc.inFlight[:0]
+	for _, c := range rc.inFlight {
+		if c.end > now {
+			keep = append(keep, c)
+			continue
+		}
+		if !c.dropped {
+			out = append(out, AckEvent{Ack: c.ack, GeneratedAt: c.gen, At: c.end})
+		}
+	}
+	rc.inFlight = keep
+	return out
+}
+
+// nextArrival reports when the next ack will finish arriving, if any is
+// scheduled: the earliest surviving committed copy, or the queued
+// pending ack's first copy. Copies already dropped never arrive and are
+// skipped — the sender cannot know, which is exactly why it also keeps
+// a retransmission timer.
+func (rc *reverseChannel) nextArrival(now time.Duration) (time.Duration, bool) {
+	rc.advance(now)
+	best := time.Duration(-1)
+	for _, c := range rc.inFlight {
+		if c.dropped || c.end <= now {
+			continue
+		}
+		if best < 0 || c.end < best {
+			best = c.end
+		}
+	}
+	if p := rc.pending; p != nil && !p.drop {
+		if first := p.start + rc.wall; best < 0 || first < best {
+			best = first
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,211 @@
+package reliable
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"symbee/internal/channel"
+	"symbee/internal/splitmix"
+	"symbee/internal/stream"
+)
+
+func TestDownlinkSchemeTiming(t *testing.T) {
+	for _, d := range DownlinkSchemes() {
+		wall, air, base, err := d.timing()
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if d == DownlinkIdeal {
+			if wall != 0 || air != 0 || base != 0 {
+				t.Errorf("ideal downlink has nonzero timing %v/%v/%v", wall, air, base)
+			}
+			continue
+		}
+		if wall <= 0 || air <= 0 || air > wall || base <= 0 {
+			t.Errorf("%s: wall=%v air=%v base=%v", d, wall, air, base)
+		}
+	}
+	if _, _, _, err := DownlinkScheme(99).timing(); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	// FreeBee acks are far slower but far lower duty than C-Morse.
+	cw, ca, _, _ := DownlinkCMorse.timing()
+	fw, fa, _, _ := DownlinkFreeBee.timing()
+	if fw <= cw {
+		t.Errorf("FreeBee wall %v should exceed C-Morse wall %v", fw, cw)
+	}
+	if float64(fa)/float64(fw) >= float64(ca)/float64(cw) {
+		t.Error("FreeBee duty should be below C-Morse duty")
+	}
+}
+
+func TestReverseChannelSerialAndCoalescing(t *testing.T) {
+	// Serial transmitter with a 10 ms wall: an ack generated while the
+	// previous one is on the air queues behind it; a third ack generated
+	// before the queued one starts replaces it (cumulative coalescing).
+	rc := &reverseChannel{wall: 10 * time.Millisecond, air: 2 * time.Millisecond,
+		base: time.Millisecond, repeat: 1}
+	rc.generate(0, Ack{NextSeq: 1}, false)                  // starts at 1ms, ends 11ms
+	rc.generate(2*time.Millisecond, Ack{NextSeq: 2}, false) // queued: starts 11ms
+	rc.generate(4*time.Millisecond, Ack{NextSeq: 3}, false) // replaces NextSeq 2
+	evs := rc.acks(11 * time.Millisecond)
+	if len(evs) != 1 || evs[0].Ack.NextSeq != 1 || evs[0].At != 11*time.Millisecond {
+		t.Fatalf("first drain = %+v", evs)
+	}
+	evs = rc.acks(21 * time.Millisecond)
+	if len(evs) != 1 || evs[0].Ack.NextSeq != 3 {
+		t.Fatalf("second drain = %+v, want the coalesced NextSeq 3", evs)
+	}
+	if evs[0].At != 21*time.Millisecond {
+		t.Errorf("queued ack arrived at %v, want serialized 21ms", evs[0].At)
+	}
+	if rc.stats.AcksCoalesced != 1 {
+		t.Errorf("coalesced = %d, want 1", rc.stats.AcksCoalesced)
+	}
+	if rc.stats.AcksSent != 2 {
+		t.Errorf("sent = %d, want 2 (NextSeq 2 never aired)", rc.stats.AcksSent)
+	}
+	if want := 2 * rc.air; rc.stats.Airtime != want {
+		t.Errorf("reverse airtime = %v, want %v", rc.stats.Airtime, want)
+	}
+}
+
+func TestReverseChannelNextArrival(t *testing.T) {
+	rc := &reverseChannel{wall: 10 * time.Millisecond, base: time.Millisecond, repeat: 2}
+	if _, ok := rc.nextArrival(0); ok {
+		t.Fatal("idle channel reported an arrival")
+	}
+	rc.generate(0, Ack{NextSeq: 1}, false)
+	next, ok := rc.nextArrival(0)
+	if !ok || next != 11*time.Millisecond {
+		t.Fatalf("next = %v %v, want first copy at 11ms", next, ok)
+	}
+	// After the first copy lands, the repeat copy is next.
+	rc.acks(11 * time.Millisecond)
+	next, ok = rc.nextArrival(11 * time.Millisecond)
+	if !ok || next != 21*time.Millisecond {
+		t.Fatalf("next = %v %v, want repeat copy at 21ms", next, ok)
+	}
+	// A fully dropped ack never arrives.
+	rc2 := &reverseChannel{wall: 10 * time.Millisecond, repeat: 1}
+	rc2.generate(0, Ack{NextSeq: 1}, true)
+	if _, ok := rc2.nextArrival(0); ok {
+		t.Fatal("dropped ack reported as arriving")
+	}
+}
+
+func TestReverseChannelCollisionModel(t *testing.T) {
+	const trials = 4000
+	run := func(seed int64, overlapFrac float64) (fwd, ack int) {
+		rc := &reverseChannel{wall: 10 * time.Millisecond, air: 5 * time.Millisecond,
+			repeat: 1, collide: splitmix.New(seed, splitmix.CollisionStream)}
+		span := time.Duration(overlapFrac * float64(rc.wall))
+		for i := 0; i < trials; i++ {
+			rc.inFlight = []ackCopy{{start: 0, end: rc.wall}}
+			rc.collideForward(0, span)
+		}
+		return rc.stats.ForwardCollisions, rc.stats.AckCollisions
+	}
+	// Full overlap: the copy is always destroyed; the forward frame dies
+	// at the 50% duty cross-section.
+	fwd, ack := run(7, 1)
+	if ack != trials {
+		t.Errorf("full overlap destroyed %d/%d copies", ack, trials)
+	}
+	if fwd < trials*45/100 || fwd > trials*55/100 {
+		t.Errorf("forward kills = %d/%d, want ≈50%%", fwd, trials)
+	}
+	// 20% overlap: the copy survives ~80% of the time; the forward
+	// frame's cross-section is unchanged (duty, not overlap).
+	_, ack = run(8, 0.2)
+	if ack < trials*15/100 || ack > trials*25/100 {
+		t.Errorf("partial-overlap copy kills = %d/%d, want ≈20%%", ack, trials)
+	}
+	// Same seed, same schedule: the collision stream is deterministic.
+	f1, a1 := run(9, 0.5)
+	f2, a2 := run(9, 0.5)
+	if f1 != f2 || a1 != a2 {
+		t.Errorf("same seed diverged: %d/%d vs %d/%d", f1, a1, f2, a2)
+	}
+	// An ideal downlink never collides and draws nothing.
+	rc := &reverseChannel{repeat: 1, collide: splitmix.New(1, splitmix.CollisionStream)}
+	if rc.collideForward(0, time.Second) {
+		t.Error("ideal downlink killed a forward frame")
+	}
+}
+
+// TestSimLinkReverseCollisions drives a full transfer over the C-Morse
+// downlink with no injected faults: every loss in the run is a genuine
+// half-duplex collision between forward frames and ack bursts, and the
+// session must still deliver through them.
+func TestSimLinkReverseCollisions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("PHY soak skipped in -short mode")
+	}
+	run := func() (*Report, ReverseStats) {
+		cfg := DefaultSimConfig()
+		cfg.Faults = channel.FaultConfig{Seed: 5}
+		m := stream.NewMetrics()
+		cfg.Metrics = m
+		link, err := NewSimLink(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer link.Close()
+		scfg := cfgSeed(5)
+		scfg.Metrics = m
+		s, err := NewSession(link, scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg := testMessage(1000)
+		rep, err := s.Send(context.Background(), msg)
+		if err != nil {
+			t.Fatalf("%v (report %+v)", err, rep)
+		}
+		if msgs := link.Messages(); len(msgs) != 1 || !bytes.Equal(msgs[0], msg) {
+			t.Fatal("message not delivered intact through collisions")
+		}
+		return rep, link.ReverseStats()
+	}
+	rep, stats := run()
+	if stats.AcksSent == 0 || stats.Airtime == 0 {
+		t.Fatalf("reverse channel idle: %+v", stats)
+	}
+	if stats.ForwardCollisions+stats.AckCollisions == 0 {
+		t.Errorf("no collisions at 25%% ack duty with a busy forward pipe: %+v", stats)
+	}
+	if stats.ForwardCollisions > 0 && rep.Retransmits == 0 {
+		t.Error("forward frames died in collisions but nothing was retransmitted")
+	}
+	rep2, stats2 := run()
+	if *rep != *rep2 || stats != stats2 {
+		t.Errorf("same seed diverged:\n%+v %+v\n%+v %+v", rep, stats, rep2, stats2)
+	}
+}
+
+func TestSimConfigValidate(t *testing.T) {
+	if err := DefaultSimConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultSimConfig()
+	bad.AckRepeat = 0
+	if bad.Validate() == nil {
+		t.Error("AckRepeat 0 validated")
+	}
+	bad = DefaultSimConfig()
+	bad.Downlink = DownlinkScheme(99)
+	if bad.Validate() == nil {
+		t.Error("unknown downlink validated")
+	}
+	bad = DefaultSimConfig()
+	bad.Params.BitPeriod = 0
+	if bad.Validate() == nil {
+		t.Error("zero Params validated")
+	}
+	if _, err := NewSimLink(SimConfig{}); err == nil {
+		t.Error("NewSimLink accepted the zero config")
+	}
+}

@@ -7,13 +7,14 @@ import (
 	"symbee/internal/channel"
 	"symbee/internal/core"
 	"symbee/internal/link"
+	"symbee/internal/splitmix"
 	"symbee/internal/zigbee"
 )
 
-// SimConfig parameterizes a SimLink.
+// SimConfig parameterizes a SimLink. No field doubles as a sentinel;
+// start from DefaultSimConfig and override what the scenario needs.
 type SimConfig struct {
-	// Params is the receiver parameter set; the zero value means
-	// Params20.
+	// Params is the receiver parameter set.
 	Params core.Params
 	// Faults is the channel fault profile (see ProfileSoak/ProfileHarsh
 	// for ready-made ones; the zero value is a clean channel).
@@ -21,21 +22,55 @@ type SimConfig struct {
 	// Stream selects the streaming receive path (bounded-history
 	// link.Stack sessions) instead of the whole-capture batch preset.
 	Stream bool
+	// Downlink selects the reverse-channel model carrying acks back.
+	Downlink DownlinkScheme
+	// AckRepeat transmits each committed ack this many times (≥ 1).
+	AckRepeat int
 	// Metrics optionally shares a registry; nil allocates a private one.
 	Metrics *link.Metrics
 }
 
-// SimLink is a reliable.Transport that runs every frame through the
-// real SymBee PHY — modulator, fault-injected channel, WiFi
+// DefaultSimConfig returns the baseline link: Params20, clean channel,
+// batch receive path and a C-Morse ack downlink without repetition.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		Params:    core.Params20(),
+		Downlink:  DownlinkCMorse,
+		AckRepeat: 1,
+	}
+}
+
+// errAckRepeat rejects non-positive ack repetition counts.
+var errAckRepeat = fmt.Errorf("reliable: AckRepeat must be at least 1")
+
+// Validate reports the first structural problem with the config.
+func (c SimConfig) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return fmt.Errorf("reliable: %w", err)
+	}
+	if c.AckRepeat < 1 {
+		return fmt.Errorf("%w: %d", errAckRepeat, c.AckRepeat)
+	}
+	if _, _, _, err := c.Downlink.timing(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SimLink is a reliable.Transport that runs every forward frame through
+// the real SymBee PHY — modulator, fault-injected channel, WiFi
 // phase-extraction front end and a link.Stack receive pipeline (batch
-// or streaming preset) — and the ARQ receive side. It exists so the
-// protocol's retry, escalation and duplicate paths are exercised
-// against genuine decode failures rather than stubbed ones.
+// or streaming preset) — and the ARQ receive side, then hands the
+// resulting cumulative ack to a modeled WiFi→ZigBee reverse channel.
+// Acks cost reverse airtime, arrive one downlink-latency late, can be
+// lost on the reverse path and can collide with forward frames; the
+// DownlinkIdeal scheme switches all of that off for baselines.
 type SimLink struct {
 	phy     *core.Link
 	dec     *core.Decoder
 	inj     *channel.FaultInjector
 	arq     *Receiver
+	rc      *reverseChannel
 	stack   *link.Stack
 	batch   bool
 	pad     []float64
@@ -44,11 +79,10 @@ type SimLink struct {
 
 // NewSimLink builds the simulated link.
 func NewSimLink(cfg SimConfig) (*SimLink, error) {
-	p := cfg.Params
-	if p.BitPeriod == 0 {
-		p = core.Params20()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	phy, err := core.NewLink(p, 0)
+	phy, err := core.NewLink(cfg.Params, 0)
 	if err != nil {
 		return nil, fmt.Errorf("reliable: %w", err)
 	}
@@ -64,6 +98,20 @@ func NewSimLink(cfg SimConfig) (*SimLink, error) {
 		batch:   !cfg.Stream,
 		metrics: m,
 	}
+	// The reverse path draws from its own splitmix streams so toggling
+	// ack loss or collisions never shifts the forward fault schedule.
+	dropCopy := func() bool {
+		if l.inj.DropAck() {
+			l.metrics.AcksLost.Add(1)
+			return true
+		}
+		return false
+	}
+	l.rc, err = newReverseChannel(cfg.Downlink, cfg.AckRepeat, dropCopy,
+		splitmix.New(cfg.Faults.Seed, splitmix.CollisionStream))
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Stream {
 		l.stack, err = link.NewReliable(l.dec, m)
 		if err != nil {
@@ -74,7 +122,7 @@ func NewSimLink(cfg SimConfig) (*SimLink, error) {
 		// gate without risking a false lock (zero phases fold to zero,
 		// far below the capture threshold). anchorSlack bounds how deep
 		// into a capture the preamble anchor can sit.
-		l.pad = make([]float64, link.PadHorizon(p, anchorSlack))
+		l.pad = make([]float64, link.PadHorizon(cfg.Params, anchorSlack))
 	} else {
 		// Batch path: one whole-capture stack, reset per capture —
 		// identical semantics to the historical per-capture
@@ -104,10 +152,27 @@ func (l *SimLink) Messages() [][]byte { return l.arq.Messages() }
 // FaultStats reports the injector's lost/jammed/drifted frame counts.
 func (l *SimLink) FaultStats() (lost, jammed, drifted int) { return l.inj.Stats() }
 
+// ReverseStats reports the downlink's ack ledger: copies sent, airtime
+// spent, coalesced, dropped and collided.
+func (l *SimLink) ReverseStats() ReverseStats { return l.rc.stats }
+
+// AckLatency implements Transport.
+func (l *SimLink) AckLatency() time.Duration { return l.rc.latency() }
+
+// Acks implements Transport.
+func (l *SimLink) Acks(now time.Duration) []AckEvent { return l.rc.acks(now) }
+
+// NextArrival implements Transport.
+func (l *SimLink) NextArrival(now time.Duration) (time.Duration, bool) {
+	return l.rc.nextArrival(now)
+}
+
 // Send implements Transport: encode (plain or Hamming-coded), modulate,
-// pass through the fault injector, receive, deliver to the ARQ side and
-// return its ack — nil when the frame or the ack was lost.
-func (l *SimLink) Send(f *core.Frame, coded bool) (*Ack, time.Duration, error) {
+// resolve collisions with any reverse ack on the air, pass through the
+// fault injector, receive, deliver to the ARQ side and hand the
+// cumulative ack to the downlink. Delivery feedback never returns here —
+// it arrives later through Acks, stamped with the downlink's latency.
+func (l *SimLink) Send(now time.Duration, f *core.Frame, coded bool) (time.Duration, error) {
 	var payload []byte
 	var err error
 	if coded {
@@ -117,28 +182,31 @@ func (l *SimLink) Send(f *core.Frame, coded bool) (*Ack, time.Duration, error) {
 	}
 	airtime := FrameAirtime(len(f.Data), coded)
 	if err != nil {
-		return nil, 0, err
+		return 0, err
+	}
+	end := now + airtime
+	l.rc.advance(end)
+	if l.rc.collideForward(now, end) {
+		l.metrics.FramesLost.Add(1)
+		return airtime, nil
 	}
 	sig, err := l.phy.PayloadToSignal(payload)
 	if err != nil {
-		return nil, airtime, err
+		return airtime, err
 	}
 	capture, ok := l.inj.Apply(sig)
 	if !ok {
 		l.metrics.FramesLost.Add(1)
-		return nil, airtime, nil
+		return airtime, nil
 	}
 	frame := l.receive(capture)
 	if frame == nil {
 		l.metrics.FramesLost.Add(1)
-		return nil, airtime, nil
+		return airtime, nil
 	}
 	ack, _ := l.arq.Deliver(frame)
-	if l.inj.DropAck() {
-		l.metrics.AcksLost.Add(1)
-		return nil, airtime, nil
-	}
-	return &ack, airtime, nil
+	l.rc.generate(end, ack, false)
+	return airtime, nil
 }
 
 // receive runs the capture through the configured stack preset and
@@ -234,6 +302,15 @@ func ProfileSoak(seed int64) channel.FaultConfig {
 		BurstSNRdB: -18,
 		AckLoss:    0.05,
 	}
+}
+
+// ProfileBidir is the bidirectional acceptance profile: 10% loss on the
+// forward path and 10% per-copy loss on the reverse path, plus the soak
+// profile's interference bursts.
+func ProfileBidir(seed int64) channel.FaultConfig {
+	cfg := ProfileSoak(seed)
+	cfg.AckLoss = 0.10
+	return cfg
 }
 
 // ProfileHarsh piles CFO drift ramps and heavier loss on top of the

@@ -13,21 +13,34 @@ import (
 )
 
 // scriptTx is a Transport driven by a per-send outcome script:
-// 'd' deliver and return the ack, 'l' lose the frame, 'a' deliver but
-// lose the ack. Past the end of the script every send is 'd'.
+// 'd' deliver and ack, 'l' lose the frame, 'a' deliver but lose every
+// copy of the ack. Past the end of the script every send is 'd'. Acks
+// ride an in-package reverseChannel — ideal (zero-width, zero-latency)
+// by default, so scripted tests reproduce the classic synchronous
+// timeline through the async contract.
 type scriptTx struct {
-	script  []byte
-	i       int
-	arq     *Receiver
-	coded   []bool // coding mode of each send, in order
-	metrics *stream.Metrics
+	script []byte
+	i      int
+	arq    *Receiver
+	rc     *reverseChannel
+	coded  []bool // coding mode of each send, in order
 }
 
 func newScriptTx(script string) *scriptTx {
-	return &scriptTx{script: []byte(script), arq: NewReceiver(nil)}
+	return newScriptTxDownlink(script, 0, 0, 0, 1)
 }
 
-func (tx *scriptTx) Send(f *core.Frame, coded bool) (*Ack, time.Duration, error) {
+// newScriptTxDownlink scripts outcomes over a reverse channel with the
+// given per-copy wall span, on-air time, turnaround and repeat count.
+func newScriptTxDownlink(script string, wall, air, base time.Duration, repeat int) *scriptTx {
+	return &scriptTx{
+		script: []byte(script),
+		arq:    NewReceiver(nil),
+		rc:     &reverseChannel{wall: wall, air: air, base: base, repeat: repeat},
+	}
+}
+
+func (tx *scriptTx) Send(now time.Duration, f *core.Frame, coded bool) (time.Duration, error) {
 	op := byte('d')
 	if tx.i < len(tx.script) {
 		op = tx.script[tx.i]
@@ -35,17 +48,28 @@ func (tx *scriptTx) Send(f *core.Frame, coded bool) (*Ack, time.Duration, error)
 	tx.i++
 	tx.coded = append(tx.coded, coded)
 	at := FrameAirtime(len(f.Data), coded)
+	end := now + at
+	tx.rc.advance(end)
 	switch op {
 	case 'l':
-		return nil, at, nil
+		// Frame lost on the forward path: no delivery, no ack.
 	case 'a':
-		tx.arq.Deliver(f)
-		return nil, at, nil
+		ack, _ := tx.arq.Deliver(f)
+		tx.rc.generate(end, ack, true)
 	default:
 		ack, _ := tx.arq.Deliver(f)
-		return &ack, at, nil
+		tx.rc.generate(end, ack, false)
 	}
+	return at, nil
 }
+
+func (tx *scriptTx) Acks(now time.Duration) []AckEvent { return tx.rc.acks(now) }
+
+func (tx *scriptTx) NextArrival(now time.Duration) (time.Duration, bool) {
+	return tx.rc.nextArrival(now)
+}
+
+func (tx *scriptTx) AckLatency() time.Duration { return tx.rc.latency() }
 
 func (tx *scriptTx) message() []byte {
 	msgs := tx.arq.Messages()
@@ -55,12 +79,76 @@ func (tx *scriptTx) message() []byte {
 	return msgs[0]
 }
 
+// cfgSeed is DefaultConfig with just the jitter seed pinned.
+func cfgSeed(seed int64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	return cfg
+}
+
 func testMessage(n int) []byte {
 	msg := make([]byte, n)
 	for i := range msg {
 		msg[i] = byte(i*7 + 3)
 	}
 	return msg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero window", func(c *Config) { c.Window = 0 }},
+		{"zero rto", func(c *Config) { c.InitialRTO = 0 }},
+		{"max below initial", func(c *Config) { c.MaxRTO = c.InitialRTO - 1 }},
+		{"backoff below 1", func(c *Config) { c.Backoff = 0.5 }},
+		{"jitter at 1", func(c *Config) { c.Jitter = 1 }},
+		{"zero retries", func(c *Config) { c.MaxRetries = 0 }},
+		{"negative escalate", func(c *Config) { c.EscalateAfter = -1 }},
+		{"negative deescalate", func(c *Config) { c.DeescalateAfter = -1 }},
+	}
+	for _, tt := range cases {
+		cfg := DefaultConfig()
+		tt.mut(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("%s: validated", tt.name)
+		}
+		if _, err := NewSession(newScriptTx(""), cfg); err == nil {
+			t.Errorf("%s: NewSession accepted it", tt.name)
+		}
+	}
+	if _, err := NewSession(nil, DefaultConfig()); err == nil {
+		t.Error("NewSession accepted a nil transport")
+	}
+}
+
+func TestSessionRTOFloorFromAckLatency(t *testing.T) {
+	// A 37 ms + 1 ms downlink floors the default 20 ms RTO at 1.5× the
+	// ack latency: any shorter timer would fire before an ack for the
+	// first frame could possibly return.
+	tx := newScriptTxDownlink("", 37*time.Millisecond, 9*time.Millisecond, time.Millisecond, 1)
+	s, err := NewSession(tx, cfgSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 57 * time.Millisecond; s.cfg.InitialRTO != want {
+		t.Errorf("InitialRTO = %v, want floored %v", s.cfg.InitialRTO, want)
+	}
+	if s.cfg.MaxRTO < 2*s.cfg.InitialRTO {
+		t.Errorf("MaxRTO %v below 2× floored InitialRTO", s.cfg.MaxRTO)
+	}
+	// An ideal downlink leaves the config untouched.
+	s2, err := NewSession(newScriptTx(""), cfgSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.cfg.InitialRTO != DefaultConfig().InitialRTO {
+		t.Errorf("ideal downlink moved InitialRTO to %v", s2.cfg.InitialRTO)
+	}
 }
 
 func TestCodedCapacityDerivation(t *testing.T) {
@@ -174,7 +262,7 @@ func TestReceiverDedup(t *testing.T) {
 
 func TestSessionCleanDelivery(t *testing.T) {
 	tx := newScriptTx("")
-	s, err := NewSession(tx, Config{Seed: 1})
+	s, err := NewSession(tx, cfgSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +290,9 @@ func TestSessionCleanDelivery(t *testing.T) {
 func TestSessionRetransmitOnLoss(t *testing.T) {
 	tx := newScriptTx("l") // first frame lost once, everything after clean
 	m := stream.NewMetrics()
-	s, err := NewSession(tx, Config{Seed: 1, Metrics: m})
+	cfg := cfgSeed(1)
+	cfg.Metrics = m
+	s, err := NewSession(tx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +320,7 @@ func TestSessionAckLossRecovery(t *testing.T) {
 	// times out, retransmits, and the receiver's catch-up ack releases
 	// the full window at once.
 	tx := newScriptTx("aaaaaaaa")
-	s, err := NewSession(tx, Config{Seed: 1})
+	s, err := NewSession(tx, cfgSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,9 +343,12 @@ func TestSessionAckLossRecovery(t *testing.T) {
 func TestSessionTimeoutExhaustion(t *testing.T) {
 	tx := newScriptTx("llllllllllllllllllllllllllllllllllllllllllllllllllllllll")
 	clock := NewVirtualClock()
-	s, err := NewSession(tx, Config{
-		Window: 2, MaxRetries: 3, EscalateAfter: -1, Clock: clock, Seed: 1,
-	})
+	cfg := cfgSeed(1)
+	cfg.Window = 2
+	cfg.MaxRetries = 3
+	cfg.EscalateAfter = 0 // escalation disabled
+	cfg.Clock = clock
+	s, err := NewSession(tx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,9 +370,12 @@ func TestSessionEscalatesAndDeescalates(t *testing.T) {
 	// progressing flights.
 	tx := newScriptTx("llll")
 	m := stream.NewMetrics()
-	s, err := NewSession(tx, Config{
-		Window: 2, EscalateAfter: 2, DeescalateAfter: 2, Seed: 1, Metrics: m,
-	})
+	cfg := cfgSeed(1)
+	cfg.Window = 2
+	cfg.EscalateAfter = 2
+	cfg.DeescalateAfter = 2
+	cfg.Metrics = m
+	s, err := NewSession(tx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,9 +422,11 @@ func TestSessionEscalationResync(t *testing.T) {
 	// ack, its retransmission is dup-dropped with the ack lost again,
 	// then the second silent flight escalates.
 	tx := newScriptTx("aa")
-	s, err := NewSession(tx, Config{
-		Window: 1, EscalateAfter: 2, DeescalateAfter: -1, Seed: 1,
-	})
+	cfg := cfgSeed(1)
+	cfg.Window = 1
+	cfg.EscalateAfter = 2
+	cfg.DeescalateAfter = 0 // coded mode sticky
+	s, err := NewSession(tx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,9 +450,11 @@ func TestSessionEscalationResync(t *testing.T) {
 
 func TestSessionStickyCodedMode(t *testing.T) {
 	tx := newScriptTx("llll")
-	s, err := NewSession(tx, Config{
-		Window: 2, EscalateAfter: 2, DeescalateAfter: -1, Seed: 1,
-	})
+	cfg := cfgSeed(1)
+	cfg.Window = 2
+	cfg.EscalateAfter = 2
+	cfg.DeescalateAfter = 0
+	s, err := NewSession(tx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +462,7 @@ func TestSessionStickyCodedMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !s.Coded() {
-		t.Fatal("DeescalateAfter<0 must keep coded mode sticky")
+		t.Fatal("DeescalateAfter 0 must keep coded mode sticky")
 	}
 }
 
@@ -370,7 +470,7 @@ func TestSessionContextCancel(t *testing.T) {
 	defer testutil.CheckGoroutineLeaks(t)()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	s, err := NewSession(newScriptTx(""), Config{Seed: 1})
+	s, err := NewSession(newScriptTx(""), cfgSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -381,7 +481,7 @@ func TestSessionContextCancel(t *testing.T) {
 }
 
 func TestSessionEmptyMessage(t *testing.T) {
-	s, err := NewSession(newScriptTx(""), Config{})
+	s, err := NewSession(newScriptTx(""), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +493,7 @@ func TestSessionEmptyMessage(t *testing.T) {
 func TestSessionDeterministicSchedule(t *testing.T) {
 	run := func() *Report {
 		tx := newScriptTx("lalal")
-		s, err := NewSession(tx, Config{Seed: 99})
+		s, err := NewSession(tx, cfgSeed(99))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -411,7 +511,7 @@ func TestSessionDeterministicSchedule(t *testing.T) {
 
 func TestSessionMultipleMessages(t *testing.T) {
 	tx := newScriptTx("")
-	s, err := NewSession(tx, Config{Seed: 1})
+	s, err := NewSession(tx, cfgSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -423,6 +523,133 @@ func TestSessionMultipleMessages(t *testing.T) {
 		if got := tx.message(); !bytes.Equal(got, msg) {
 			t.Fatalf("message %d differs", i)
 		}
+	}
+}
+
+// lateTx delivers every frame and schedules its ack at a scripted
+// per-send arrival delay after the frame ends — a downlink whose
+// nominal latency is tiny but whose individual acks can straggle
+// arbitrarily past the retransmission timer.
+type lateTx struct {
+	arq    *Receiver
+	delays []time.Duration // ack arrival delay per send; past the end = 0
+	i      int
+	events []AckEvent
+}
+
+func (tx *lateTx) Send(now time.Duration, f *core.Frame, coded bool) (time.Duration, error) {
+	at := FrameAirtime(len(f.Data), coded)
+	end := now + at
+	ack, _ := tx.arq.Deliver(f)
+	var d time.Duration
+	if tx.i < len(tx.delays) {
+		d = tx.delays[tx.i]
+	}
+	tx.i++
+	tx.events = append(tx.events, AckEvent{Ack: ack, GeneratedAt: end, At: end + d})
+	return at, nil
+}
+
+func (tx *lateTx) Acks(now time.Duration) []AckEvent {
+	var out []AckEvent
+	keep := tx.events[:0]
+	for _, ev := range tx.events {
+		if ev.At <= now {
+			out = append(out, ev)
+		} else {
+			keep = append(keep, ev)
+		}
+	}
+	tx.events = keep
+	return out
+}
+
+func (tx *lateTx) NextArrival(now time.Duration) (time.Duration, bool) {
+	best := time.Duration(-1)
+	for _, ev := range tx.events {
+		if ev.At > now && (best < 0 || ev.At < best) {
+			best = ev.At
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+func (tx *lateTx) AckLatency() time.Duration { return time.Millisecond }
+
+// TestSessionLateAckAfterRTO: the first flight's acks straggle in 30 ms
+// late, well past the ~20 ms RTO, so the sender has already gone back
+// and retransmitted when they land. The late acks must still apply
+// their cumulative releases, and their stale generation stamps must not
+// read as fresh loss evidence — one timeout, the minimal go-back-N
+// retransmissions, and an intact message delivered exactly once.
+func TestSessionLateAckAfterRTO(t *testing.T) {
+	tx := &lateTx{arq: NewReceiver(nil), delays: []time.Duration{
+		30 * time.Millisecond, 30 * time.Millisecond,
+		500 * time.Millisecond, 500 * time.Millisecond, 500 * time.Millisecond,
+	}}
+	cfg := cfgSeed(1)
+	cfg.Window = 2
+	s, err := NewSession(tx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := testMessage(20) // 2 frames
+	rep, err := s.Send(context.Background(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := tx.arq.Messages()
+	if len(msgs) != 1 || !bytes.Equal(msgs[0], msg) {
+		t.Fatalf("late acks corrupted delivery: %d messages", len(msgs))
+	}
+	if rep.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want exactly the one RTO the late acks missed", rep.Timeouts)
+	}
+	// Flight 2 retransmits both frames before late ack #1 releases the
+	// base; flight 3 retransmits the last frame before late ack #2
+	// finishes the transfer. Anything above 3 means the stale acks were
+	// misread as loss evidence.
+	if rep.Retransmits != 3 {
+		t.Errorf("retransmits = %d, want 3", rep.Retransmits)
+	}
+	if tx.arq.DupDrops() != 3 {
+		t.Errorf("dup drops = %d, want 3", tx.arq.DupDrops())
+	}
+}
+
+// TestSessionDuplicateDownlinkAcks: a Repeat-3 downlink delivers every
+// ack three times. The duplicate copies carry stale generation stamps,
+// so they must neither release anything twice nor read as loss
+// evidence: zero retransmits, zero timeouts on a clean forward path.
+func TestSessionDuplicateDownlinkAcks(t *testing.T) {
+	tx := newScriptTxDownlink("", 2*time.Millisecond, 500*time.Microsecond, 500*time.Microsecond, 3)
+	cfg := cfgSeed(1)
+	cfg.Window = 1
+	s, err := NewSession(tx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := testMessage(20) // 2 frames
+	rep, err := s.Send(context.Background(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := tx.arq.Messages()
+	if len(msgs) != 1 || !bytes.Equal(msgs[0], msg) {
+		t.Fatalf("duplicate acks corrupted delivery: %d messages", len(msgs))
+	}
+	if rep.Retransmits != 0 || rep.Timeouts != 0 {
+		t.Errorf("duplicate acks caused %d retransmits and %d timeouts, want none",
+			rep.Retransmits, rep.Timeouts)
+	}
+	if got := tx.rc.stats.AcksSent; got != 6 {
+		t.Errorf("reverse channel sent %d copies, want 2 acks × 3 repeats", got)
+	}
+	if tx.rc.stats.AcksDropped != 0 {
+		t.Errorf("clean reverse path dropped %d copies", tx.rc.stats.AcksDropped)
 	}
 }
 

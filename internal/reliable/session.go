@@ -22,42 +22,59 @@ var (
 	ErrTimeout = errors.New("reliable: retransmission budget exhausted")
 )
 
-// Transport carries one data frame to the far end and returns the
-// acknowledgment observed on the reverse channel — nil when the frame
-// or its ack was lost — together with the forward (ZigBee) airtime the
-// transmission occupied. coded selects the Hamming(7,4) on-air
-// encoding. SimLink is the simulated implementation.
+// Transport carries data frames to the far end over the forward (ZigBee)
+// channel and surfaces acknowledgments from the reverse (WiFi→ZigBee)
+// channel asynchronously. The contract is discrete-event: every method
+// takes the caller's current clock reading, so transports need no clock
+// of their own.
+//
+// Send starts transmitting f at now and returns the forward airtime the
+// transmission occupies; it completes when that airtime is spent, and
+// says nothing about delivery. Acknowledgments travel back on their own
+// schedule: Acks drains every ack that has fully arrived by now, and
+// NextArrival reports when the next committed ack will land, so a
+// discrete-event caller can sleep precisely to it. AckLatency is the
+// nominal one-way ack delay on an idle reverse channel — the floor any
+// useful retransmission timeout must respect.
+//
+// Implementations are single-goroutine, driven synchronously by one
+// Session. SimLink is the simulated implementation.
 type Transport interface {
-	Send(f *core.Frame, coded bool) (*Ack, time.Duration, error)
+	Send(now time.Duration, f *core.Frame, coded bool) (airtime time.Duration, err error)
+	Acks(now time.Duration) []AckEvent
+	NextArrival(now time.Duration) (time.Duration, bool)
+	AckLatency() time.Duration
 }
 
-// Config parameterizes a Session. The zero value selects the defaults;
-// set a field negative to disable it where noted.
+// Config parameterizes a Session. No field doubles as a sentinel: every
+// value is taken literally, with 0 meaning "disabled" only where the
+// field says so. Start from DefaultConfig and override what the link
+// needs; NewSession validates.
 type Config struct {
-	// Window is the maximum number of in-flight frames (default 8).
+	// Window is the maximum number of in-flight frames (≥ 1).
 	Window int
 	// InitialRTO is the retransmission timeout after a silent flight
-	// (default 20ms — a window of max-size frames is ~13ms of airtime).
+	// (> 0). NewSession floors it at 1.5× the transport's AckLatency —
+	// a timer shorter than the reverse channel's delay would declare
+	// every flight silent before its ack could possibly arrive.
 	InitialRTO time.Duration
-	// MaxRTO caps the exponential backoff (default 500ms).
+	// MaxRTO caps the exponential backoff (≥ InitialRTO).
 	MaxRTO time.Duration
-	// Backoff is the RTO multiplier per consecutive silent flight
-	// (default 2).
+	// Backoff is the RTO multiplier per consecutive silent flight (≥ 1).
 	Backoff float64
 	// Jitter spreads each timeout uniformly over ±Jitter·RTO so
-	// colliding senders desynchronize (default 0.2).
+	// colliding senders desynchronize (0 ≤ Jitter < 1; 0 disables).
 	Jitter float64
 	// MaxRetries is the number of consecutive no-progress flights
 	// tolerated for one window base before the send fails with
-	// ErrTimeout (default 16).
+	// ErrTimeout (≥ 1).
 	MaxRetries int
 	// EscalateAfter is the number of consecutive no-progress flights
-	// that triggers Hamming-coded mode (default 3; negative disables
-	// escalation).
+	// that triggers Hamming-coded mode (0 disables escalation).
 	EscalateAfter int
 	// DeescalateAfter is the number of consecutive clean (progressing)
 	// flights in coded mode that returns the session to plain frames
-	// (default 4; negative keeps coded mode sticky).
+	// (0 keeps coded mode sticky).
 	DeescalateAfter int
 	// Clock drives timers; nil means a fresh VirtualClock (tests and
 	// simulation). Use NewWallClock for live pacing.
@@ -70,35 +87,54 @@ type Config struct {
 	Metrics *link.Metrics
 }
 
-func (c Config) withDefaults() Config {
-	if c.Window == 0 {
-		c.Window = 8
+// DefaultConfig returns the baseline session configuration: window 8,
+// 20 ms initial RTO doubling to 500 ms with 20% jitter, 16 retries,
+// escalation after 3 silent flights and de-escalation after 4 clean
+// ones.
+func DefaultConfig() Config {
+	return Config{
+		Window:          8,
+		InitialRTO:      20 * time.Millisecond,
+		MaxRTO:          500 * time.Millisecond,
+		Backoff:         2,
+		Jitter:          0.2,
+		MaxRetries:      16,
+		EscalateAfter:   3,
+		DeescalateAfter: 4,
 	}
-	if c.InitialRTO == 0 {
-		c.InitialRTO = 20 * time.Millisecond
+}
+
+// Config validation errors.
+var (
+	errWindow   = errors.New("reliable: Window must be at least 1")
+	errRTO      = errors.New("reliable: InitialRTO must be positive")
+	errMaxRTO   = errors.New("reliable: MaxRTO must be at least InitialRTO")
+	errBackoff  = errors.New("reliable: Backoff must be at least 1")
+	errJitter   = errors.New("reliable: Jitter must be in [0, 1)")
+	errRetries  = errors.New("reliable: MaxRetries must be at least 1")
+	errEscalate = errors.New("reliable: negative escalation threshold")
+)
+
+// Validate reports the first structural problem with the config.
+func (c Config) Validate() error {
+	switch {
+	case c.Window < 1:
+		return fmt.Errorf("%w: %d", errWindow, c.Window)
+	case c.InitialRTO <= 0:
+		return fmt.Errorf("%w: %v", errRTO, c.InitialRTO)
+	case c.MaxRTO < c.InitialRTO:
+		return fmt.Errorf("%w: %v < %v", errMaxRTO, c.MaxRTO, c.InitialRTO)
+	case c.Backoff < 1:
+		return fmt.Errorf("%w: %v", errBackoff, c.Backoff)
+	case c.Jitter < 0 || c.Jitter >= 1:
+		return fmt.Errorf("%w: %v", errJitter, c.Jitter)
+	case c.MaxRetries < 1:
+		return fmt.Errorf("%w: %d", errRetries, c.MaxRetries)
+	case c.EscalateAfter < 0 || c.DeescalateAfter < 0:
+		return fmt.Errorf("%w: escalate %d, deescalate %d",
+			errEscalate, c.EscalateAfter, c.DeescalateAfter)
 	}
-	if c.MaxRTO == 0 {
-		c.MaxRTO = 500 * time.Millisecond
-	}
-	if c.Backoff == 0 {
-		c.Backoff = 2
-	}
-	if c.Jitter == 0 {
-		c.Jitter = 0.2
-	}
-	if c.MaxRetries == 0 {
-		c.MaxRetries = 16
-	}
-	if c.EscalateAfter == 0 {
-		c.EscalateAfter = 3
-	}
-	if c.DeescalateAfter == 0 {
-		c.DeescalateAfter = 4
-	}
-	if c.Clock == nil {
-		c.Clock = NewVirtualClock()
-	}
-	return c
+	return nil
 }
 
 // Report summarizes one Send.
@@ -115,10 +151,11 @@ type Report struct {
 	// Escalations and Deescalations count coding-mode switches.
 	Escalations   int
 	Deescalations int
-	// Airtime is the total forward (ZigBee) airtime spent.
+	// Airtime is the total forward (ZigBee) airtime spent. Reverse
+	// (ack) airtime is the transport's ledger — see SimLink.ReverseStats.
 	Airtime time.Duration
-	// Elapsed is the transfer duration on the session clock, timer
-	// waits included.
+	// Elapsed is the transfer duration on the session clock: airtime,
+	// ack latency and timer waits included.
 	Elapsed time.Duration
 	// Coded reports whether the session ended in Hamming-coded mode.
 	Coded bool
@@ -137,6 +174,11 @@ func (r *Report) GoodputBps() float64 {
 type segment struct {
 	frame    *core.Frame
 	attempts int
+	// lastTxEnd is when this segment's latest transmission finished
+	// arriving (zero until first transmitted). Acks generated before
+	// the base segment's lastTxEnd are stale — they say nothing about
+	// that transmission's fate.
+	lastTxEnd time.Duration
 }
 
 // window is the go-back-N flight: segs[0] is the base (oldest unacked).
@@ -185,14 +227,27 @@ type Session struct {
 	coded   bool
 }
 
-// NewSession returns a session over the transport.
+// NewSession returns a session over the transport. The config's RTOs
+// are floored against the transport's AckLatency: a retransmission
+// timer shorter than the reverse channel's one-way delay would read
+// every in-flight ack as silence.
 func NewSession(tx Transport, cfg Config) (*Session, error) {
 	if tx == nil {
 		return nil, fmt.Errorf("reliable: nil transport")
 	}
-	cfg = cfg.withDefaults()
-	if cfg.Window < 1 {
-		return nil, fmt.Errorf("reliable: %w: window %d", core.ErrBadLength, cfg.Window)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if floor := tx.AckLatency() * 3 / 2; floor > 0 {
+		if cfg.InitialRTO < floor {
+			cfg.InitialRTO = floor
+		}
+		if cfg.MaxRTO < 2*floor {
+			cfg.MaxRTO = 2 * floor
+		}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = NewVirtualClock()
 	}
 	return &Session{
 		cfg:     cfg,
@@ -273,7 +328,7 @@ func (s *Session) Send(ctx context.Context, msg []byte) (rep *Report, err error)
 			}
 			pending = pending[1:]
 		}
-		progressed, heard, relBytes, nextBase, err := s.flight(ctx, win, rep)
+		progressed, heard, relBytes, nextBase, err := s.flight(ctx, win, rep, rto)
 		acked += relBytes
 		baseSeq = nextBase
 		if err != nil {
@@ -306,18 +361,17 @@ func (s *Session) Send(ctx context.Context, msg []byte) (rep *Report, err error)
 				}
 			}
 		case heard:
-			// Feedback arrived but the base frame did not: a loss
-			// signal — go back and retransmit immediately.
+			// Feedback generated after the base's latest transmission
+			// arrived, without releasing it: a loss signal — go back and
+			// retransmit immediately.
 			consecutive++
 		default:
-			// Silence. Wait out the timer, then back off.
+			// Silence. The flight already waited out the jittered timer
+			// (sleeping toward ack arrivals on the way); just back off.
 			consecutive++
 			rep.Timeouts++
 			if s.metrics != nil {
 				s.metrics.Timeouts.Add(1)
-			}
-			if err := s.clock.Sleep(ctx, s.jittered(rto)); err != nil {
-				return rep, fmt.Errorf("reliable: send canceled: %w", err)
 			}
 			rto = time.Duration(float64(rto) * s.cfg.Backoff)
 			if rto > s.cfg.MaxRTO {
@@ -353,13 +407,40 @@ func (s *Session) Send(ctx context.Context, msg []byte) (rep *Report, err error)
 	return rep, nil
 }
 
-// flight transmits the window in order, applying acknowledgments as
-// they arrive: released segments shift the iteration back so freshly
-// unacked segments are still sent once per flight. It reports whether
-// the base advanced, whether any feedback was heard at all, the bytes
-// released, and the new base sequence.
-func (s *Session) flight(ctx context.Context, win *window, rep *Report) (progressed, heard bool, relBytes int, nextBase byte, err error) {
+// flight transmits the window in order, draining reverse-channel acks
+// after every frame, then waits for feedback: it sleeps toward the next
+// committed ack arrival until one of them moves the window or the
+// jittered rto deadline passes. Released segments shift the iteration
+// back so freshly unacked segments are still sent once per flight.
+//
+// An ack releasing nothing counts as `heard` loss evidence only when it
+// was generated at or after the base segment's latest transmission
+// ended: the receiver saw the channel past that transmission and still
+// did not want the base. Stale acks — late arrivals from before the
+// latest transmission, or duplicate downlink copies — still apply their
+// cumulative releases but never trigger a retransmission, which is what
+// keeps downlink repeats and post-RTO stragglers from corrupting the
+// go-back-N schedule.
+func (s *Session) flight(ctx context.Context, win *window, rep *Report, rto time.Duration) (progressed, heard bool, relBytes int, nextBase byte, err error) {
 	nextBase = s.baseSeqOf(win)
+	shift := 0 // window releases observed by drain, consumed by the tx loop
+	drain := func() {
+		for _, ev := range s.tx.Acks(s.clock.Now()) {
+			rel, b := win.ack(ev.Ack.NextSeq)
+			if rel > 0 {
+				progressed = true
+				relBytes += b
+				nextBase = ev.Ack.NextSeq
+				shift += rel
+				continue
+			}
+			if len(win.segs) > 0 && win.segs[0].lastTxEnd > 0 &&
+				ev.GeneratedAt >= win.segs[0].lastTxEnd {
+				heard = true
+			}
+		}
+	}
+
 	idx := 0
 	for idx < len(win.segs) {
 		if err := ctx.Err(); err != nil {
@@ -374,7 +455,7 @@ func (s *Session) flight(ctx context.Context, win *window, rep *Report) (progres
 		}
 		seg.attempts++
 		rep.FramesSent++
-		ack, airtime, err := s.tx.Send(seg.frame, s.coded)
+		airtime, err := s.tx.Send(s.clock.Now(), seg.frame, s.coded)
 		rep.Airtime += airtime
 		if slErr := s.clock.Sleep(ctx, airtime); slErr != nil {
 			return progressed, heard, relBytes, nextBase, fmt.Errorf("reliable: send canceled: %w", slErr)
@@ -382,25 +463,43 @@ func (s *Session) flight(ctx context.Context, win *window, rep *Report) (progres
 		if err != nil {
 			return progressed, heard, relBytes, nextBase, fmt.Errorf("reliable: transport: %w", err)
 		}
-		if ack != nil {
-			heard = true
-			rel, b := win.ack(ack.NextSeq)
-			if rel > 0 {
-				progressed = true
-				relBytes += b
-				nextBase = ack.NextSeq
-				// The window shifted left under the iteration; a
-				// catch-up ack (previous acks lost) can release past
-				// the cursor, so clamp to the new front.
-				idx -= rel
-				if idx < -1 {
-					idx = -1
-				}
-			}
+		seg.lastTxEnd = s.clock.Now()
+		drain()
+		idx -= shift
+		shift = 0
+		if idx < -1 {
+			// A catch-up ack released past the cursor; resume at the new
+			// front of the window.
+			idx = -1
 		}
 		idx++
 	}
-	return progressed, heard, relBytes, nextBase, nil
+	if progressed || heard {
+		return progressed, heard, relBytes, nextBase, nil
+	}
+
+	// Await phase: the window is fully transmitted and nothing moved
+	// yet. Acks may still be in flight on the reverse channel — sleep
+	// precisely toward each committed arrival, giving up when the
+	// jittered retransmission deadline passes first.
+	deadline := s.clock.Now() + s.jittered(rto)
+	for {
+		drain()
+		if progressed || heard {
+			return progressed, heard, relBytes, nextBase, nil
+		}
+		now := s.clock.Now()
+		if now >= deadline {
+			return progressed, heard, relBytes, nextBase, nil
+		}
+		target := deadline
+		if next, ok := s.tx.NextArrival(now); ok && next < target {
+			target = next
+		}
+		if slErr := s.clock.Sleep(ctx, target-now); slErr != nil {
+			return progressed, heard, relBytes, nextBase, fmt.Errorf("reliable: send canceled: %w", slErr)
+		}
+	}
 }
 
 // resync learns the receiver's exact cumulative expectation before a
@@ -413,8 +512,12 @@ func (s *Session) flight(ctx context.Context, win *window, rep *Report) (progres
 // accept it (its expectation is always at or past the base), so it
 // always answers with a duplicate ack carrying the current expectation,
 // which releases exactly the old-mapping segments the receiver holds.
-// Probes retry on the usual timer discipline in the session's current
-// coding mode.
+//
+// Under a latent downlink only an ack generated at or after the probe's
+// delivery is authoritative — a stale ack still in flight carries an
+// older expectation. Stale arrivals apply their releases and the wait
+// continues; probes retry on the usual timer discipline in the
+// session's current coding mode.
 func (s *Session) resync(ctx context.Context, win *window, rep *Report, baseSeq byte) (relBytes int, nextBase byte, err error) {
 	nextBase = baseSeq
 	if len(win.segs) == 0 {
@@ -431,7 +534,7 @@ func (s *Session) resync(ctx context.Context, win *window, rep *Report, baseSeq 
 				ErrTimeout, baseSeq, attempt)
 		}
 		rep.FramesSent++
-		ack, airtime, err := s.tx.Send(probe, s.coded)
+		airtime, err := s.tx.Send(s.clock.Now(), probe, s.coded)
 		rep.Airtime += airtime
 		if slErr := s.clock.Sleep(ctx, airtime); slErr != nil {
 			return relBytes, nextBase, fmt.Errorf("reliable: send canceled: %w", slErr)
@@ -439,18 +542,33 @@ func (s *Session) resync(ctx context.Context, win *window, rep *Report, baseSeq 
 		if err != nil {
 			return relBytes, nextBase, fmt.Errorf("reliable: transport: %w", err)
 		}
-		if ack != nil {
-			_, b := win.ack(ack.NextSeq)
-			relBytes += b
-			nextBase = ack.NextSeq
-			return relBytes, nextBase, nil
+		probeEnd := s.clock.Now()
+		deadline := probeEnd + s.jittered(rto)
+		for {
+			for _, ev := range s.tx.Acks(s.clock.Now()) {
+				_, b := win.ack(ev.Ack.NextSeq)
+				relBytes += b
+				if ev.GeneratedAt >= probeEnd {
+					// Generated after the probe landed: the receiver's
+					// current expectation, exact by construction.
+					return relBytes, ev.Ack.NextSeq, nil
+				}
+			}
+			now := s.clock.Now()
+			if now >= deadline {
+				break
+			}
+			target := deadline
+			if next, ok := s.tx.NextArrival(now); ok && next < target {
+				target = next
+			}
+			if slErr := s.clock.Sleep(ctx, target-now); slErr != nil {
+				return relBytes, nextBase, fmt.Errorf("reliable: send canceled: %w", slErr)
+			}
 		}
 		rep.Timeouts++
 		if s.metrics != nil {
 			s.metrics.Timeouts.Add(1)
-		}
-		if slErr := s.clock.Sleep(ctx, s.jittered(rto)); slErr != nil {
-			return relBytes, nextBase, fmt.Errorf("reliable: send canceled: %w", slErr)
 		}
 		rto = time.Duration(float64(rto) * s.cfg.Backoff)
 		if rto > s.cfg.MaxRTO {

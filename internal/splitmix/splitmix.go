@@ -20,6 +20,19 @@ import "math/rand"
 // that is added after every sender's contribution lives at -1.
 const NoiseStream = -1
 
+// ReverseStream is the conventional stream index of reverse-path
+// (WiFi→ZigBee downlink) fault draws: ack loss lives on its own stream
+// so toggling reverse faults never shifts the forward loss/burst
+// schedule, and vice versa.
+const ReverseStream = -2
+
+// CollisionStream is the conventional stream index of full-duplex
+// collision draws: whether a forward frame and an overlapping
+// reverse-channel transmission destroy each other is decided on this
+// stream, independent of both the forward fault schedule and the
+// reverse loss schedule.
+const CollisionStream = -3
+
 // Split derives stream's private seed from the scenario seed.
 // Stream -1 (NoiseStream) maps to the raw finalizer of seed itself.
 func Split(seed int64, stream int) int64 {

@@ -18,6 +18,12 @@ HUNT_EQUIVALENCE_RUN='TestHuntScalarBatchEquivalence|TestHuntBatchZeroAlloc'
 # synthesizer must reproduce the dense reference bit-for-bit.
 MEDIUM_EQUIVALENCE_RUN='TestMediumLinkEquivalence'
 
+# ARQ acceptance soaks (DESIGN.md §14): the 100-seed forward soak on
+# both receive paths plus the bidirectional soak (10% loss forward, 10%
+# per-copy ack loss on the modeled downlink). CI and nightly run these
+# with RELIABLE_SOAK_RUNS=100.
+ARQ_SOAK_RUN='TestARQSoak|TestARQBidirectionalSoak'
+
 # Concurrency-bearing packages for race-detector coverage: the
 # streaming pipeline, the decoder state machine, the ARQ layer, the
 # channel simulator, the link stack and the shared-medium engine.
