@@ -98,9 +98,9 @@ func run(msg, bitStr string, seq, flags byte, rate float64, out string) error {
 
 func paramsFor(rate float64) (symbee.Params, error) {
 	switch rate {
-	case 20e6:
+	case 20e6: //symbee:ignore floatcmp -- rate is a flag-parsed literal matched exactly: near-20e6 rates must hit the error branch, not round into it
 		return symbee.Params20(), nil
-	case 40e6:
+	case 40e6: //symbee:ignore floatcmp -- same exact-match contract as the 20e6 arm
 		return symbee.Params40(), nil
 	}
 	return symbee.Params{}, fmt.Errorf("unsupported rate %v (use 20e6 or 40e6)", rate)

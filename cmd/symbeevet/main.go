@@ -1,6 +1,7 @@
-// Command symbeevet runs the project's static-analysis suite: four
+// Command symbeevet runs the project's static-analysis suite: eight
 // analyzers that machine-enforce the repo's hot-path allocation,
-// determinism, error-wrapping and float-comparison invariants
+// determinism, error-wrapping, float-comparison, import-layering,
+// RNG-stream, config-contract and concurrency invariants
 // (DESIGN.md §9).
 //
 // Usage:
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"symbee/internal/vet"
 )
@@ -56,16 +58,20 @@ func run(argv []string) int {
 		fmt.Fprintln(os.Stderr, "symbeevet:", err)
 		return 2
 	}
+	loadStart := time.Now()
 	prog, err := vet.Load(wd, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "symbeevet:", err)
 		return 2
 	}
+	load := time.Since(loadStart)
 
+	analyzeStart := time.Now()
 	diags := vet.Run(prog, analyzers)
+	analyze := time.Since(analyzeStart)
 
 	if *jsonOut {
-		report := vet.NewReport(patterns, analyzers, prog, diags)
+		report := vet.NewReport(patterns, analyzers, prog, diags, load, analyze)
 		if err := report.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "symbeevet:", err)
 			return 2

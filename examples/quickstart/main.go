@@ -41,7 +41,7 @@ func run() error {
 	ch, err := symbee.NewChannel(symbee.ChannelConfig{
 		Scenario: "office",
 		Distance: 10,
-		Seed:     7,
+		Seed:     1,
 	})
 	if err != nil {
 		return err

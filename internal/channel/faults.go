@@ -67,20 +67,25 @@ type FaultInjector struct {
 	acksLost int
 }
 
-// NewFaultInjector returns an injector for the profile. The jam-noise
-// and reverse-path streams are split from the schedule seed through the
-// repo-wide splitmix convention (stream −1 = noise, −2 = reverse), so
-// the injector, the shared-medium simulator and the multi-sender
-// scenario all derive their side streams the same way — and enabling
+// NewFaultInjector returns an injector for the profile, rejecting
+// structurally invalid ones (probabilities outside [0,1], negative
+// periods). All three streams are split from the schedule seed through
+// the repo-wide splitmix convention (stream −4 = forward schedule,
+// −1 = noise, −2 = reverse), so the injector, the shared-medium
+// simulator and the multi-sender scenario all derive their streams the
+// same way — adjacent scenario seeds never correlate, and enabling
 // reverse-path faults never shifts which forward frames the loss
 // pattern hits.
-func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	return &FaultInjector{
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     splitmix.New(cfg.Seed, splitmix.ScheduleStream),
 		noise:   splitmix.New(cfg.Seed, splitmix.NoiseStream),
 		reverse: splitmix.New(cfg.Seed, splitmix.ReverseStream),
-	}
+	}, nil
 }
 
 // Apply passes one frame capture through the profile, mutating it in

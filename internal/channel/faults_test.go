@@ -6,6 +6,15 @@ import (
 	"testing"
 )
 
+func mustInjector(t *testing.T, cfg FaultConfig) *FaultInjector {
+	t.Helper()
+	fi, err := NewFaultInjector(cfg)
+	if err != nil {
+		t.Fatalf("NewFaultInjector(%+v): %v", cfg, err)
+	}
+	return fi
+}
+
 func testCapture(n int) []complex128 {
 	x := make([]complex128, n)
 	for i := range x {
@@ -23,7 +32,7 @@ func TestFaultInjectorDeterministic(t *testing.T) {
 		DriftEvery: 5, DriftRate: 1e-7,
 		AckLoss: 0.3,
 	}
-	a, b := NewFaultInjector(cfg), NewFaultInjector(cfg)
+	a, b := mustInjector(t, cfg), mustInjector(t, cfg)
 	for i := 0; i < 200; i++ {
 		ca, cb := testCapture(256), testCapture(256)
 		oa, okA := a.Apply(ca)
@@ -54,7 +63,7 @@ func TestFaultInjectorDeterministic(t *testing.T) {
 
 // Burst windows land exactly on the configured frame-counter schedule.
 func TestFaultInjectorBurstSchedule(t *testing.T) {
-	fi := NewFaultInjector(FaultConfig{BurstEvery: 8, BurstLen: 3}) // SNR 0 → drop
+	fi := mustInjector(t, FaultConfig{BurstEvery: 8, BurstLen: 3}) // SNR 0 → drop
 	for i := 0; i < 32; i++ {
 		_, ok := fi.Apply(testCapture(64))
 		inBurst := i%8 < 3
@@ -71,7 +80,7 @@ func TestFaultInjectorBurstSchedule(t *testing.T) {
 // A jamming burst (nonzero SNR) keeps the frame but corrupts it; frames
 // outside the burst pass through untouched.
 func TestFaultInjectorJamAndCleanFrames(t *testing.T) {
-	fi := NewFaultInjector(FaultConfig{Seed: 1, BurstEvery: 4, BurstLen: 1, BurstSNRdB: -20})
+	fi := mustInjector(t, FaultConfig{Seed: 1, BurstEvery: 4, BurstLen: 1, BurstSNRdB: -20})
 	ref := testCapture(128)
 	for i := 0; i < 8; i++ {
 		out, ok := fi.Apply(testCapture(128))
@@ -94,8 +103,8 @@ func TestFaultInjectorJamAndCleanFrames(t *testing.T) {
 // The i.i.d. loss draw is consumed every frame, so enabling bursts does
 // not shift which frames the loss pattern hits.
 func TestFaultInjectorLossScheduleStable(t *testing.T) {
-	lossOnly := NewFaultInjector(FaultConfig{Seed: 42, FrameLoss: 0.3})
-	withBurst := NewFaultInjector(FaultConfig{Seed: 42, FrameLoss: 0.3, BurstEvery: 7, BurstLen: 2, BurstSNRdB: -10})
+	lossOnly := mustInjector(t, FaultConfig{Seed: 42, FrameLoss: 0.3})
+	withBurst := mustInjector(t, FaultConfig{Seed: 42, FrameLoss: 0.3, BurstEvery: 7, BurstLen: 2, BurstSNRdB: -10})
 	for i := 0; i < 300; i++ {
 		_, okA := lossOnly.Apply(testCapture(32))
 		_, okB := withBurst.Apply(testCapture(32))
@@ -109,8 +118,8 @@ func TestFaultInjectorLossScheduleStable(t *testing.T) {
 // DropAck calls must not shift which forward frames the loss pattern
 // hits, and toggling ack loss must not change the forward schedule.
 func TestFaultInjectorReversePathIndependent(t *testing.T) {
-	fwdOnly := NewFaultInjector(FaultConfig{Seed: 11, FrameLoss: 0.3})
-	interleaved := NewFaultInjector(FaultConfig{Seed: 11, FrameLoss: 0.3, AckLoss: 0.5})
+	fwdOnly := mustInjector(t, FaultConfig{Seed: 11, FrameLoss: 0.3})
+	interleaved := mustInjector(t, FaultConfig{Seed: 11, FrameLoss: 0.3, AckLoss: 0.5})
 	for i := 0; i < 300; i++ {
 		_, okA := fwdOnly.Apply(testCapture(32))
 		_, okB := interleaved.Apply(testCapture(32))
@@ -123,7 +132,7 @@ func TestFaultInjectorReversePathIndependent(t *testing.T) {
 
 // Ack loss converges to the configured rate.
 func TestFaultInjectorAckLossRate(t *testing.T) {
-	fi := NewFaultInjector(FaultConfig{Seed: 3, AckLoss: 0.25})
+	fi := mustInjector(t, FaultConfig{Seed: 3, AckLoss: 0.25})
 	dropped := 0
 	const n = 20000
 	for i := 0; i < n; i++ {
@@ -140,7 +149,7 @@ func TestFaultInjectorAckLossRate(t *testing.T) {
 // The drift ramp applies a pure phase rotation: magnitudes are
 // untouched while late-sample phases walk away.
 func TestFaultInjectorDriftRamp(t *testing.T) {
-	fi := NewFaultInjector(FaultConfig{DriftEvery: 1, DriftRate: 1e-6})
+	fi := mustInjector(t, FaultConfig{DriftEvery: 1, DriftRate: 1e-6})
 	x := testCapture(4096)
 	out, ok := fi.Apply(x)
 	if !ok {

@@ -33,6 +33,9 @@ type Interferer struct {
 // NewInterferer returns an interferer; it is a no-op when cfg.DutyCycle
 // or cfg.BurstDuration is zero.
 func NewInterferer(cfg InterferenceConfig, sampleRate float64, rng *rand.Rand) (*Interferer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	in := &Interferer{cfg: cfg, sampleRate: sampleRate, tx: wifi.NewTransmitter(rng), rng: rng}
 	if cfg.DutyCycle > 0 && cfg.BurstDuration > 0 {
 		frame, err := in.tx.FrameForDuration(cfg.BurstDuration)

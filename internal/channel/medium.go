@@ -1,7 +1,6 @@
 package channel
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 
@@ -45,11 +44,8 @@ type Medium struct {
 
 // NewMedium builds a medium from cfg, drawing all randomness from rng.
 func NewMedium(cfg Config, rng *rand.Rand) (*Medium, error) {
-	if cfg.SampleRate <= 0 {
-		return nil, fmt.Errorf("channel: sample rate %v must be positive", cfg.SampleRate)
-	}
-	if cfg.Pad < 0 {
-		return nil, fmt.Errorf("channel: negative pad %d", cfg.Pad)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	inf, err := NewInterferer(cfg.Interference, cfg.SampleRate, rng)
 	if err != nil {

@@ -19,6 +19,8 @@ import (
 // unrepresentable through this type. New code should build a
 // medium.Config (which takes every field literally, starting from
 // medium.Defaults()) and call RunMedium instead.
+//
+//symbee:ignore confvalid -- frozen legacy surface: the zero-sentinel semantics documented above are the API; the sentinel-free replacement is medium.Config (Defaults/Validate), which new code must use
 type MultiSenderConfig struct {
 	// Params is the receiver parameter set; the zero value means
 	// Params20.
@@ -117,7 +119,9 @@ var errNoSenders = errors.New("link: multisender needs at least one sender and o
 // and reproduces the historical dense-superposition implementation
 // bit-for-bit.
 func RunMultiSender(cfg MultiSenderConfig) (*MultiSenderReport, error) {
-	if cfg.Senders < 1 || cfg.FramesPerSender < 1 {
+	// The legacy config has no Validate by design (see the type's
+	// suppression); the sentinel translation below is its whole contract.
+	if cfg.Senders < 1 || cfg.FramesPerSender < 1 { //symbee:ignore confvalid -- legacy sentinel config validates inline; medium.Config owns the Validate-first path
 		return nil, errNoSenders
 	}
 	mc := medium.Defaults()

@@ -48,6 +48,9 @@ func (c SimConfig) Validate() error {
 	if err := c.Params.Validate(); err != nil {
 		return fmt.Errorf("reliable: %w", err)
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("reliable: %w", err)
+	}
 	if c.AckRepeat < 1 {
 		return fmt.Errorf("%w: %d", errAckRepeat, c.AckRepeat)
 	}
@@ -90,10 +93,14 @@ func NewSimLink(cfg SimConfig) (*SimLink, error) {
 	if m == nil {
 		m = link.NewMetrics()
 	}
+	inj, err := channel.NewFaultInjector(cfg.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("reliable: %w", err)
+	}
 	l := &SimLink{
 		phy:     phy,
 		dec:     phy.Decoder(),
-		inj:     channel.NewFaultInjector(cfg.Faults),
+		inj:     inj,
 		arq:     NewReceiver(m),
 		batch:   !cfg.Stream,
 		metrics: m,

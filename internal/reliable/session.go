@@ -9,6 +9,7 @@ import (
 
 	"symbee/internal/core"
 	"symbee/internal/link"
+	"symbee/internal/splitmix"
 )
 
 // Sentinel errors of the reliability layer. The root package re-exports
@@ -250,10 +251,13 @@ func NewSession(tx Transport, cfg Config) (*Session, error) {
 		cfg.Clock = NewVirtualClock()
 	}
 	return &Session{
-		cfg:     cfg,
-		tx:      tx,
-		clock:   cfg.Clock,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		cfg:   cfg,
+		tx:    tx,
+		clock: cfg.Clock,
+		// Retransmission jitter draws from its own splitmix stream, so
+		// timing randomization and the channel fault schedules derived
+		// from the same scenario seed stay independent.
+		rng:     splitmix.New(cfg.Seed, splitmix.JitterStream),
 		m:       core.NewMessenger(nil),
 		metrics: cfg.Metrics,
 	}, nil

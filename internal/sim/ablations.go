@@ -1,5 +1,7 @@
 package sim
 
+//symbee:ignore-file rngstream -- the per-point seed arithmetic in the figure drivers is part of each figure's published definition: the paper artifacts were generated from these exact streams, and rederiving them through splitmix would silently regenerate different curves. New drivers must split streams via internal/splitmix.
+
 import (
 	"fmt"
 	"math"

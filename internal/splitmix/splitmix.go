@@ -33,6 +33,18 @@ const ReverseStream = -2
 // reverse loss schedule.
 const CollisionStream = -3
 
+// ScheduleStream is the conventional stream index of forward-path
+// fault-schedule draws (frame loss): the fault injector's per-frame
+// loss uniforms live here, so the forward schedule is decorrelated
+// from adjacent scenario seeds just like every side stream.
+const ScheduleStream = -4
+
+// JitterStream is the conventional stream index of protocol-timing
+// draws: the ARQ session's retransmission jitter lives on its own
+// stream, so timing randomization never perturbs (or is perturbed by)
+// the channel fault schedules derived from the same seed.
+const JitterStream = -5
+
 // Split derives stream's private seed from the scenario seed.
 // Stream -1 (NoiseStream) maps to the raw finalizer of seed itself.
 func Split(seed int64, stream int) int64 {

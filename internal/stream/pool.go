@@ -55,6 +55,23 @@ type Config struct {
 	Metrics *Metrics
 }
 
+// DefaultConfig returns the baseline pool configuration: the 20 Msps
+// parameter set, no CFO compensation, one worker per CPU (Workers 0 =
+// GOMAXPROCS), 64-deep queues and lossless backpressure.
+func DefaultConfig() Config {
+	return Config{Params: core.Params20(), QueueDepth: 64}
+}
+
+// Validate reports the first structural problem with the config. The
+// Workers and QueueDepth fields keep their documented ≤0-means-default
+// semantics, so only the receiver parameters can be structurally wrong.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	return nil
+}
+
 // Pool is the sharded streaming receiver: N worker goroutines, each
 // owning the sessions of the streams sharded to it, fed by bounded
 // channels. Each session is one streaming-preset link.Stack (wrapped as
@@ -67,7 +84,7 @@ type Pool struct {
 	workers []*worker
 	metrics *Metrics
 	wg      sync.WaitGroup
-	closed  bool
+	closed  bool          //symbee:guardedby mu
 	mu      sync.RWMutex  // guards closed: Ingest holds R, Close holds W
 	done    chan struct{} // closed when the pool has fully shut down
 }
@@ -81,6 +98,9 @@ type worker struct {
 // NewPool starts the workers and returns the pool. Callers must Close
 // it to flush outstanding sessions and join the goroutines.
 func NewPool(cfg Config) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -120,7 +140,10 @@ func NewPoolContext(ctx context.Context, cfg Config) (*Pool, error) {
 		return nil, fmt.Errorf("stream: %w", err)
 	}
 	if ctx != nil && ctx.Done() != nil {
-		go func() {
+		// The watcher joins itself: it exits through the p.done arm once
+		// Close completes, and it is the goroutine that calls Close on
+		// cancellation — waiting for it from Close would deadlock.
+		go func() { //symbee:ignore concurrency -- exits via the p.done select arm when the pool closes; Close cannot join the goroutine that may itself be calling Close
 			select {
 			case <-ctx.Done():
 				p.Close()

@@ -1,0 +1,305 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerConcurrency enforces the repo's goroutine and lock
+// discipline (the testutil.CheckGoroutineLeaks philosophy, made
+// static). In library code (package main exempt — CLI mains own the
+// process lifetime):
+//
+//   - every `go` statement must have a visible join path: the spawning
+//     function touches a sync.WaitGroup, or the spawned function
+//     signals completion (WaitGroup.Done, a channel send, or a close) —
+//     a goroutine nobody can wait for outlives its owner's contract and
+//     leaks under churn;
+//   - struct fields annotated `//symbee:guardedby <mutex>` (a sibling
+//     sync.Mutex/RWMutex field) must only be read or written in
+//     functions that lock that mutex on the same receiver first;
+//   - a guardedby annotation must name an existing sibling field.
+func AnalyzerConcurrency() *Analyzer {
+	return &Analyzer{
+		Name: "concurrency",
+		Doc:  "require join paths for goroutines and lock discipline for //symbee:guardedby fields",
+		Run:  runConcurrency,
+	}
+}
+
+const joinFix = "add a WaitGroup (Add before go, Done inside, Wait at shutdown) or a completion channel the owner receives from"
+const guardFix = "lock the annotated mutex on the same receiver before touching the field"
+
+func runConcurrency(prog *Program, u *Unit) []Diagnostic {
+	if u.Pkg == nil || u.Pkg.Name() == "main" {
+		return nil
+	}
+	var out []Diagnostic
+	guards := collectGuardedFields(prog, u)
+	for _, g := range guards.badAnnotations {
+		out = append(out, g)
+	}
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			out = append(out, checkGoroutineJoins(prog, u, fd)...)
+			out = append(out, checkGuardedAccess(prog, u, fd, guards)...)
+			return false // FuncDecls are top-level; no nested decls
+		})
+	}
+	return out
+}
+
+// ---- goroutine joins ----
+
+// checkGoroutineJoins flags `go` statements with no visible join path.
+func checkGoroutineJoins(prog *Program, u *Unit, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	spawnerJoins := usesWaitGroup(u.Info, fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if spawnerJoins || spawnedSignalsCompletion(prog, u, g) {
+			return true
+		}
+		out = append(out, prog.diag("concurrency", g.Pos(), joinFix,
+			"goroutine has no join path: no WaitGroup in %s and no completion signal in the spawned function", fd.Name.Name))
+		return true
+	})
+	return out
+}
+
+// usesWaitGroup reports whether the body calls any sync.WaitGroup
+// method (Add/Done/Wait) — the spawning-side half of the join contract.
+func usesWaitGroup(info *types.Info, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isWaitGroupMethod(info, call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroupMethod reports whether call's static callee is a method of
+// sync.WaitGroup.
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// spawnedSignalsCompletion reports whether the goroutine's own body
+// signals when it finishes: WaitGroup Done/Add, a channel send, or a
+// close. For `go lit()` the literal body is inspected; for
+// `go f(args)` the callee's declaration is, when it is in the module.
+func spawnedSignalsCompletion(prog *Program, u *Unit, g *ast.GoStmt) bool {
+	var body ast.Node
+	var info *types.Info = u.Info
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn := calleeFunc(u.Info, g.Call); fn != nil {
+		decl, du := prog.Decl(fn)
+		if decl == nil || decl.Body == nil {
+			return false
+		}
+		body = decl.Body
+		info = du.Info
+	} else {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if isWaitGroupMethod(info, n) || isBuiltin(info, n, "close") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// ---- guardedby fields ----
+
+// guardedField identifies one annotated field.
+type guardedField struct {
+	owner *types.Named // the struct's named type
+	mutex string       // the sibling mutex field name
+}
+
+type guardedSet struct {
+	// fields maps the *types.Var of each annotated field to its guard.
+	fields map[*types.Var]guardedField
+	// badAnnotations are malformed //symbee:guardedby comments.
+	badAnnotations []Diagnostic
+}
+
+// collectGuardedFields parses //symbee:guardedby annotations off struct
+// field comments in the unit.
+func collectGuardedFields(prog *Program, u *Unit) guardedSet {
+	gs := guardedSet{fields: make(map[*types.Var]guardedField)}
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, ok := u.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, fl := range st.Fields.List {
+				for _, name := range fl.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fl := range st.Fields.List {
+				mutex, ok := guardAnnotation(fl)
+				if !ok {
+					continue
+				}
+				if !fieldNames[mutex] {
+					gs.badAnnotations = append(gs.badAnnotations, prog.diag("concurrency", fl.Pos(), guardFix,
+						"//symbee:guardedby names %q, which is not a field of %s", mutex, ts.Name.Name))
+					continue
+				}
+				for _, name := range fl.Names {
+					if v, ok := u.Info.Defs[name].(*types.Var); ok {
+						gs.fields[v] = guardedField{owner: named, mutex: mutex}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return gs
+}
+
+// guardAnnotation extracts the mutex name from a field's trailing or
+// doc comment //symbee:guardedby <name>.
+func guardAnnotation(fl *ast.Field) (mutex string, ok bool) {
+	for _, cg := range []*ast.CommentGroup{fl.Doc, fl.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, found := strings.CutPrefix(text, "symbee:guardedby")
+			if !found {
+				continue
+			}
+			name := strings.TrimSpace(rest)
+			if i := strings.IndexAny(name, " \t"); i >= 0 {
+				name = name[:i]
+			}
+			return name, name != ""
+		}
+	}
+	return "", false
+}
+
+// checkGuardedAccess flags selector accesses to annotated fields in
+// functions that never lock the field's mutex on the same base
+// expression first.
+func checkGuardedAccess(prog *Program, u *Unit, fd *ast.FuncDecl, guards guardedSet) []Diagnostic {
+	if len(guards.fields) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := u.Info.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		gf, ok := guards.fields[v]
+		if !ok {
+			return true
+		}
+		base := types.ExprString(ast.Unparen(sel.X))
+		if lockedBefore(u.Info, fd.Body, base, gf.mutex, sel.Pos()) {
+			return true
+		}
+		out = append(out, prog.diag("concurrency", sel.Pos(), guardFix,
+			"%s.%s is annotated guardedby %s but %s does not lock %s.%s before this access",
+			base, sel.Sel.Name, gf.mutex, fd.Name.Name, base, gf.mutex))
+		return true
+	})
+	return out
+}
+
+// lockedBefore reports whether base.mutex.Lock() or .RLock() is called
+// in body at a position before pos.
+func lockedBefore(info *types.Info, body ast.Node, base, mutex string, pos token.Pos) bool {
+	want := base + "." + mutex
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if types.ExprString(ast.Unparen(sel.X)) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,254 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerConfvalid enforces the sentinel-free config contract
+// (DESIGN.md §14, generalized from the reliability layer): exported
+// config structs are built from an explicit baseline and validated
+// before use, instead of scattering zero-value sentinels through
+// constructors. Concretely, in library code (package main exempt):
+//
+//   - every exported struct type named Config or *Config must have a
+//     package-level Default* constructor returning it (Defaults(),
+//     DefaultConfig(), DefaultSimConfig(s), ...) and a Validate() error
+//     method;
+//   - every exported package-level function taking such a config must
+//     call its Validate (or hand the whole config to another function,
+//     which owns validation at its own site) before reading any field —
+//     an entry point that normalizes or uses fields first silently
+//     accepts configurations Validate would reject.
+func AnalyzerConfvalid() *Analyzer {
+	return &Analyzer{
+		Name: "confvalid",
+		Doc:  "require Defaults()/Validate() on exported configs and Validate-before-use in entry points",
+		Run:  runConfvalid,
+	}
+}
+
+const confDeclFix = "add a package-level Default* constructor and a Validate() error method (see internal/medium/config.go for the pattern)"
+const confUseFix = "call cfg.Validate() (returning the error) before the first field read"
+
+func runConfvalid(prog *Program, u *Unit) []Diagnostic {
+	if u.Pkg == nil || u.Pkg.Name() == "main" {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range u.Files {
+		for _, d := range f.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					out = append(out, checkConfigDecl(prog, u, ts)...)
+				}
+			case *ast.FuncDecl:
+				out = append(out, checkConfigEntryPoint(prog, u, d)...)
+			}
+		}
+	}
+	return out
+}
+
+// isConfigType reports whether named is an exported struct type whose
+// name marks it as a config.
+func isConfigType(named *types.Named) bool {
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	if !obj.Exported() || !strings.HasSuffix(obj.Name(), "Config") {
+		return false
+	}
+	_, ok := named.Underlying().(*types.Struct)
+	return ok
+}
+
+// checkConfigDecl verifies the Defaults/Validate surface of one
+// exported config type declaration.
+func checkConfigDecl(prog *Program, u *Unit, ts *ast.TypeSpec) []Diagnostic {
+	obj, ok := u.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok || !isConfigType(named) {
+		return nil
+	}
+	var out []Diagnostic
+	if !hasDefaultsCtor(u.Pkg, named) {
+		out = append(out, prog.diag("confvalid", ts.Name.Pos(), confDeclFix,
+			"exported config %s has no Default* constructor: callers must guess a baseline field by field", obj.Name()))
+	}
+	if !hasValidateMethod(named) {
+		out = append(out, prog.diag("confvalid", ts.Name.Pos(), confDeclFix,
+			"exported config %s has no Validate() error method: invalid values surface as misbehavior, not errors", obj.Name()))
+	}
+	return out
+}
+
+// hasDefaultsCtor reports whether pkg declares a Default*-named
+// callable whose first result is the config type (by value or pointer).
+// Package-level function values count too, so a re-export like
+// `var DefaultSimConfig = reliable.DefaultSimConfig` satisfies the
+// contract for the aliased type.
+func hasDefaultsCtor(pkg *types.Package, cfg *types.Named) bool {
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Default") {
+			continue
+		}
+		var t types.Type
+		switch obj := scope.Lookup(name).(type) {
+		case *types.Func:
+			t = obj.Type()
+		case *types.Var:
+			t = obj.Type()
+		default:
+			continue
+		}
+		sig, ok := t.(*types.Signature)
+		if !ok || sig.Results().Len() == 0 {
+			continue
+		}
+		res := sig.Results().At(0).Type()
+		if p, ok := res.(*types.Pointer); ok {
+			res = p.Elem()
+		}
+		if types.Identical(res, cfg) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasValidateMethod reports whether the type (or its pointer) has a
+// Validate() error method.
+func hasValidateMethod(cfg *types.Named) bool {
+	for _, t := range []types.Type{cfg, types.NewPointer(cfg)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			fn, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || fn.Name() != "Validate" {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() == 0 && sig.Results().Len() == 1 && isErrorType(sig.Results().At(0).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkConfigEntryPoint verifies that an exported package-level
+// function validates its config parameters before reading their fields.
+func checkConfigEntryPoint(prog *Program, u *Unit, fd *ast.FuncDecl) []Diagnostic {
+	if fd.Recv != nil || fd.Body == nil || fd.Name == nil || !fd.Name.IsExported() {
+		return nil
+	}
+	var out []Diagnostic
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			v, ok := u.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			t := v.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok || !isConfigType(named) {
+				continue
+			}
+			if d := checkValidateBeforeUse(prog, u, fd, v); d != nil {
+				out = append(out, *d)
+			}
+		}
+	}
+	return out
+}
+
+// checkValidateBeforeUse finds the first field read of the config
+// parameter and checks that a Validate call (or a whole-value handoff
+// to another function) precedes it.
+func checkValidateBeforeUse(prog *Program, u *Unit, fd *ast.FuncDecl, param *types.Var) *Diagnostic {
+	type event struct {
+		pos   int // token.Pos as int for ordering
+		field string
+		kind  int // 0 = field read, 1 = validate, 2 = handoff
+	}
+	var events []event
+	// Walk with a parent stack so each use of the parameter can be
+	// classified by its immediate context.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || u.Info.Uses[id] != param {
+			return true
+		}
+		parent := ast.Node(nil)
+		if len(stack) >= 2 {
+			parent = stack[len(stack)-2]
+		}
+		switch p := parent.(type) {
+		case *ast.SelectorExpr:
+			if p.X != id {
+				return true
+			}
+			if p.Sel.Name == "Validate" {
+				events = append(events, event{pos: int(id.Pos()), kind: 1})
+				return true
+			}
+			events = append(events, event{pos: int(id.Pos()), field: p.Sel.Name, kind: 0})
+		case *ast.CallExpr:
+			for _, arg := range p.Args {
+				if arg == ast.Expr(id) {
+					events = append(events, event{pos: int(id.Pos()), kind: 2})
+					return true
+				}
+			}
+		case *ast.UnaryExpr:
+			// &cfg handed onward: treat like a whole-value handoff.
+			if p.Op.String() == "&" {
+				events = append(events, event{pos: int(id.Pos()), kind: 2})
+			}
+		}
+		return true
+	})
+	first := event{kind: -1}
+	for _, e := range events {
+		if e.kind == 0 && (first.kind == -1 || e.pos < first.pos) {
+			first = e
+		}
+	}
+	if first.kind == -1 {
+		return nil // no field reads at all
+	}
+	// A validate/handoff event clears the function only when it happens
+	// before the first field read.
+	for _, e := range events {
+		if e.kind != 0 && e.pos < first.pos {
+			return nil
+		}
+	}
+	d := prog.diag("confvalid", token.Pos(first.pos), confUseFix,
+		"%s reads %s.%s before calling Validate: invalid configs flow into the construction", fd.Name.Name, param.Name(), first.field)
+	return &d
+}

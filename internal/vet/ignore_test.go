@@ -82,6 +82,37 @@ func fixtureFuncLines(t *testing.T, prog *Program, file string) map[string][2]in
 	return spans
 }
 
+// TestIgnoreMultiRule pins that one ignore comment with a
+// comma-separated rule list silences several rules firing on the same
+// line, while the unsuppressed control keeps both diagnostics.
+func TestIgnoreMultiRule(t *testing.T) {
+	prog, err := LoadDir(filepath.Join("testdata", "ignoremulti"), "fixture/ignoremulti")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags := Run(prog, []*Analyzer{AnalyzerRngstream(), AnalyzerConcurrency()})
+
+	byRule := make(map[string]int)
+	for _, d := range diags {
+		byRule[d.Rule]++
+	}
+	if byRule["rngstream"] != 1 || byRule["concurrency"] != 1 || len(diags) != 2 {
+		for _, d := range diags {
+			t.Logf("got: %s", d.String())
+		}
+		t.Fatalf("surviving rule counts = %v (%d diags), want one rngstream + one concurrency from the control", byRule, len(diags))
+	}
+	if diags[0].Line != diags[1].Line {
+		t.Errorf("control diagnostics on lines %d and %d, want the same line", diags[0].Line, diags[1].Line)
+	}
+	spans := fixtureFuncLines(t, prog, "ignoremulti.go")
+	for _, d := range diags {
+		if d.Line < spans["Control"][0] || d.Line > spans["Control"][1] {
+			t.Errorf("diagnostic escaped the multi-rule suppression: %s", d.String())
+		}
+	}
+}
+
 // TestIgnoreParsing pins the comment grammar details: comma/space rule
 // lists and the rationale separator.
 func TestIgnoreParsing(t *testing.T) {

@@ -3,6 +3,7 @@ package vet
 import (
 	"encoding/json"
 	"io"
+	"time"
 )
 
 // Report is the machine-readable result of a run — the stable schema
@@ -14,6 +15,16 @@ type Report struct {
 	Rules []string `json:"rules"`
 	// Packages is the number of packages analyzed.
 	Packages int `json:"packages"`
+	// LoadMillis and AnalyzeMillis split the run's wall time between
+	// parse/type-check and the analyzer fan-out, so CI can track vet
+	// cost over time (the self-bench in bench_test.go tracks the same
+	// quantity under `go test -bench`).
+	LoadMillis    int64 `json:"load_ms"`
+	AnalyzeMillis int64 `json:"analyze_ms"`
+	// RuleCounts maps each rule that fired to its number of surviving
+	// diagnostics (clean rules are omitted; JSON object keys sort, so
+	// the report stays byte-stable for a given result set).
+	RuleCounts map[string]int `json:"rule_counts"`
 	// Diagnostics are the surviving findings in position order; an
 	// empty run serializes as [] rather than null.
 	Diagnostics []Diagnostic `json:"diagnostics"`
@@ -22,8 +33,9 @@ type Report struct {
 	Count int `json:"count"`
 }
 
-// NewReport assembles the JSON payload for one run.
-func NewReport(patterns []string, analyzers []*Analyzer, prog *Program, diags []Diagnostic) Report {
+// NewReport assembles the JSON payload for one run. load and analyze
+// are the wall-clock durations of Load and Run respectively.
+func NewReport(patterns []string, analyzers []*Analyzer, prog *Program, diags []Diagnostic, load, analyze time.Duration) Report {
 	rules := make([]string, len(analyzers))
 	for i, az := range analyzers {
 		rules[i] = az.Name
@@ -31,12 +43,19 @@ func NewReport(patterns []string, analyzers []*Analyzer, prog *Program, diags []
 	if diags == nil {
 		diags = []Diagnostic{}
 	}
+	counts := make(map[string]int)
+	for _, d := range diags {
+		counts[d.Rule]++
+	}
 	return Report{
-		Patterns:    patterns,
-		Rules:       rules,
-		Packages:    len(prog.Units),
-		Diagnostics: diags,
-		Count:       len(diags),
+		Patterns:      patterns,
+		Rules:         rules,
+		Packages:      len(prog.Units),
+		LoadMillis:    load.Milliseconds(),
+		AnalyzeMillis: analyze.Milliseconds(),
+		RuleCounts:    counts,
+		Diagnostics:   diags,
+		Count:         len(diags),
 	}
 }
 

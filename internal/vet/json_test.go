@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // TestReportShape pins the JSON schema CI consumes: field names, the
@@ -21,7 +22,7 @@ func TestReportShape(t *testing.T) {
 	}
 
 	var buf bytes.Buffer
-	if err := NewReport([]string{"./..."}, analyzers, prog, diags).WriteJSON(&buf); err != nil {
+	if err := NewReport([]string{"./..."}, analyzers, prog, diags, 5*time.Millisecond, 2*time.Millisecond).WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
 
@@ -29,13 +30,23 @@ func TestReportShape(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	for _, key := range []string{"patterns", "rules", "packages", "diagnostics", "count"} {
+	for _, key := range []string{"patterns", "rules", "packages", "load_ms", "analyze_ms", "rule_counts", "diagnostics", "count"} {
 		if _, ok := decoded[key]; !ok {
 			t.Errorf("report missing %q key", key)
 		}
 	}
 	if got := decoded["count"].(float64); int(got) != len(diags) {
 		t.Errorf("count = %v, want %d", got, len(diags))
+	}
+	if got := decoded["load_ms"].(float64); int(got) != 5 {
+		t.Errorf("load_ms = %v, want 5", got)
+	}
+	if got := decoded["analyze_ms"].(float64); int(got) != 2 {
+		t.Errorf("analyze_ms = %v, want 2", got)
+	}
+	counts := decoded["rule_counts"].(map[string]any)
+	if got := counts["floatcmp"].(float64); int(got) != len(diags) {
+		t.Errorf("rule_counts[floatcmp] = %v, want %d", got, len(diags))
 	}
 	if got := decoded["rules"].([]any); len(got) != 1 || got[0] != "floatcmp" {
 		t.Errorf("rules = %v, want [floatcmp]", got)
@@ -62,7 +73,7 @@ func TestReportEmptyDiagnostics(t *testing.T) {
 		t.Fatalf("LoadDir: %v", err)
 	}
 	var buf bytes.Buffer
-	if err := NewReport([]string{"./..."}, Analyzers(), prog, nil).WriteJSON(&buf); err != nil {
+	if err := NewReport([]string{"./..."}, Analyzers(), prog, nil, 0, 0).WriteJSON(&buf); err != nil {
 		t.Fatalf("WriteJSON: %v", err)
 	}
 	if bytes.Contains(buf.Bytes(), []byte(`"diagnostics": null`)) {

@@ -181,39 +181,71 @@ func Load(dir string, patterns []string) (*Program, error) {
 	return prog, nil
 }
 
-// LoadDir type-checks a single standalone directory (no module
-// context) under the given synthetic import path. It exists for the
+// LoadDir type-checks a standalone directory tree (no module context)
+// under the given synthetic import path. It exists for the
 // golden-fixture tests, whose packages live under testdata and import
-// only the standard library.
+// only the standard library — or each other: subdirectories holding Go
+// files become sibling packages at path+"/"+subdir, resolvable from
+// the root fixture's imports (the layering and rngstream fixtures model
+// multi-package programs this way).
 func LoadDir(dir, path string) (*Program, error) {
 	fset := token.NewFileSet()
-	files, err := parseDir(fset, dir)
+	srcs := make(map[string]*pkgSource)
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() || strings.HasPrefix(d.Name(), ".") {
+			return nil
+		}
+		files, err := parseDir(fset, p)
+		if err != nil || len(files) == 0 {
+			return err
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return err
+		}
+		imp := path
+		if rel != "." {
+			imp = path + "/" + filepath.ToSlash(rel)
+		}
+		srcs[imp] = &pkgSource{path: imp, dir: p, files: files}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if len(files) == 0 {
+	if len(srcs) == 0 {
 		return nil, fmt.Errorf("vet: no Go files in %s", dir)
 	}
 	l := &loader{
 		fset:     fset,
-		srcs:     map[string]*pkgSource{path: {path: path, dir: dir, files: files}},
+		srcs:     srcs,
 		units:    make(map[string]*Unit),
 		checking: make(map[string]bool),
 		gc:       importer.Default(),
 		source:   importer.ForCompiler(fset, "source", nil),
 	}
-	u, err := l.check(l.srcs[path])
-	if err != nil {
-		return nil, err
+	paths := make([]string, 0, len(srcs))
+	for p := range srcs {
+		paths = append(paths, p)
 	}
+	sort.Strings(paths)
 	prog := &Program{
 		Fset:     fset,
-		Units:    []*Unit{u},
 		ignores:  make(map[string]*fileIgnores),
 		decls:    make(map[*types.Func]*ast.FuncDecl),
 		declUnit: make(map[*types.Func]*Unit),
 	}
-	prog.indexUnit(u)
+	for _, p := range paths {
+		u, err := l.check(srcs[p])
+		if err != nil {
+			return nil, err
+		}
+		prog.Units = append(prog.Units, u)
+		prog.indexUnit(u)
+	}
 	return prog, nil
 }
 

@@ -1,0 +1,176 @@
+package vet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// AnalyzerRngstream enforces the splitmix stream discipline (DESIGN.md
+// §12: every seeded component derives its random streams through
+// internal/splitmix, so "stream k of seed s" means the same thing
+// everywhere and adjacent seeds never correlate). It flags, in library
+// code (package main and package splitmix itself are exempt):
+//
+//   - raw rand.NewSource calls — ad-hoc seed arithmetic
+//     (rand.NewSource(seed + k*7919)) is exactly the correlated-stream
+//     hazard splitmix removes; construct generators with splitmix.New
+//     or seed them with splitmix.Split;
+//   - two splitmix.New/Split calls in one function with the same seed
+//     expression and the same constant stream index: the streams
+//     collide and every draw is duplicated;
+//   - a *rand.Rand shared across goroutine boundaries: a package-level
+//     Rand variable, or a Rand captured by a go-launched func literal —
+//     math/rand generators are not safe for concurrent use, and even a
+//     locked one makes draw order scheduling-dependent, breaking seed
+//     reproducibility.
+func AnalyzerRngstream() *Analyzer {
+	return &Analyzer{
+		Name: "rngstream",
+		Doc:  "require splitmix-derived RNG streams and single-goroutine Rand ownership",
+		Run:  runRngstream,
+	}
+}
+
+const rngSourceFix = "use splitmix.New(seed, stream) (or rand.New over splitmix.Split) with a distinct stream constant"
+const rngDupFix = "give each stream its own constant (see the splitmix.*Stream conventions)"
+const rngShareFix = "create the Rand inside the goroutine from splitmix.Split, or split one stream per worker"
+
+func runRngstream(prog *Program, u *Unit) []Diagnostic {
+	if u.Pkg == nil || u.Pkg.Name() == "main" || u.Pkg.Name() == "splitmix" {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range u.Files {
+		// Package-level *rand.Rand variables are reachable from every
+		// goroutine the package ever starts.
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if v, ok := u.Info.Defs[name].(*types.Var); ok && isRandPtr(v.Type()) {
+						out = append(out, prog.diag("rngstream", name.Pos(), rngShareFix,
+							"package-level *rand.Rand %q is reachable from every goroutine in the package", name.Name))
+					}
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if _, ok := calleeIn(u.Info, n, "math/rand", "NewSource"); ok {
+					out = append(out, prog.diag("rngstream", n.Pos(), rngSourceFix,
+						"raw rand.NewSource: seed arithmetic outside splitmix correlates streams across seeds"))
+				}
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					out = append(out, checkDuplicateStreams(prog, u, n)...)
+					out = append(out, checkSharedRand(prog, u, n)...)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isRandPtr reports whether t is *math/rand.Rand.
+func isRandPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rand" && obj.Pkg() != nil && obj.Pkg().Path() == "math/rand"
+}
+
+// splitmixCall reports whether call is splitmix.New or splitmix.Split
+// (matched by package name, so fixtures with a local splitmix work).
+func splitmixCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "splitmix" {
+		return false
+	}
+	return fn.Name() == "New" || fn.Name() == "Split"
+}
+
+// checkDuplicateStreams flags two splitmix derivations in one function
+// that use the same seed expression and the same constant stream index.
+func checkDuplicateStreams(prog *Program, u *Unit, fn *ast.FuncDecl) []Diagnostic {
+	type streamUse struct {
+		seed   string
+		stream int64
+	}
+	seen := make(map[streamUse]bool)
+	var out []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !splitmixCall(u.Info, call) || len(call.Args) != 2 {
+			return true
+		}
+		tv, ok := u.Info.Types[call.Args[1]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			return true // non-constant stream (per-sender index): fine
+		}
+		stream, ok := constant.Int64Val(tv.Value)
+		if !ok {
+			return true
+		}
+		use := streamUse{seed: types.ExprString(ast.Unparen(call.Args[0])), stream: stream}
+		if seen[use] {
+			out = append(out, prog.diag("rngstream", call.Pos(), rngDupFix,
+				"stream constant %d derived twice from seed %s: the two generators produce identical draws", stream, use.seed))
+		}
+		seen[use] = true
+		return true
+	})
+	return out
+}
+
+// checkSharedRand flags *rand.Rand values captured by go-launched func
+// literals: the generator becomes reachable from two goroutines.
+func checkSharedRand(prog *Program, u *Unit, fn *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		reported := make(map[*types.Var]bool)
+		ast.Inspect(lit.Body, func(inner ast.Node) bool {
+			id, ok := inner.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := u.Info.Uses[id].(*types.Var)
+			if !ok || v.IsField() || reported[v] || !isRandPtr(v.Type()) {
+				return true
+			}
+			// Captured: declared in the enclosing function, before the
+			// literal starts.
+			if v.Pos() >= fn.Pos() && v.Pos() < lit.Pos() {
+				reported[v] = true
+				out = append(out, prog.diag("rngstream", id.Pos(), rngShareFix,
+					"*rand.Rand %q is captured by a go-launched goroutine: draws race and the schedule decides the stream", v.Name()))
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}

@@ -1,0 +1,92 @@
+// Package concurrency is a golden fixture for the concurrency analyzer.
+package concurrency
+
+import "sync"
+
+// Fire spawns a goroutine nobody can wait for.
+func Fire() {
+	go work() // want `goroutine has no join path`
+}
+
+// FireLit spawns a literal with no completion signal either.
+func FireLit() {
+	go func() { // want `goroutine has no join path`
+		work()
+	}()
+}
+
+func work() {}
+
+// Joined uses the WaitGroup contract on the spawning side.
+func Joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // ok: WaitGroup join in the spawner
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// Signaled spawns a literal that announces completion on a channel.
+func Signaled() <-chan int {
+	out := make(chan int, 1)
+	go func() { // ok: spawned body sends a completion signal
+		work()
+		out <- 1
+	}()
+	return out
+}
+
+// signalingWorker closes its channel when done, so spawning it by name
+// is joinable too.
+func signalingWorker(done chan struct{}) {
+	work()
+	close(done)
+}
+
+// SignaledByName spawns a named function whose body signals.
+func SignaledByName() {
+	done := make(chan struct{})
+	go signalingWorker(done) // ok: callee closes done
+	<-done
+}
+
+// Watcher is a reviewed fire-and-forget exception.
+func Watcher() {
+	go work() //symbee:ignore concurrency -- fixture: process-lifetime watcher, reviewed
+}
+
+// Counter guards its count with an annotated mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int //symbee:guardedby mu
+}
+
+// Inc locks before touching the guarded field.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++ // ok: mu held
+}
+
+// Peek reads the guarded field without the lock.
+func (c *Counter) Peek() int {
+	return c.n // want `c\.n is annotated guardedby mu but Peek does not lock`
+}
+
+// Mislabeled names a mutex that is not a sibling field.
+type Mislabeled struct {
+	mu sync.Mutex
+	//symbee:guardedby lock
+	v int // want `names "lock", which is not a field of Mislabeled`
+}
+
+// Use keeps Mislabeled's fields referenced.
+func (m *Mislabeled) Use() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.v++
+}

@@ -1,0 +1,69 @@
+// Package confvalid is a golden fixture for the confvalid analyzer.
+package confvalid
+
+import "errors"
+
+// GoodConfig carries the full contract: baseline constructor, Validate,
+// and an entry point that validates before reading fields.
+type GoodConfig struct { // ok: Defaults + Validate present
+	N int
+}
+
+// DefaultGoodConfig returns the baseline.
+func DefaultGoodConfig() GoodConfig { return GoodConfig{N: 4} }
+
+// Validate reports the first structural problem.
+func (c GoodConfig) Validate() error {
+	if c.N < 1 {
+		return errors.New("confvalid: N must be positive")
+	}
+	return nil
+}
+
+// NewGood validates before the first field read.
+func NewGood(cfg GoodConfig) (int, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	return cfg.N, nil // ok: Validate ran first
+}
+
+// Wrap hands the whole config to NewGood, which owns validation.
+func Wrap(cfg GoodConfig) (int, error) {
+	return NewGood(cfg) // ok: whole-value handoff
+}
+
+// BadConfig has neither a baseline nor validation.
+type BadConfig struct { // want `no Default\* constructor` `no Validate\(\) error method`
+	N int
+}
+
+// Run reads a field before validating.
+func Run(cfg GoodConfig) int {
+	return cfg.N * 2 // want `Run reads cfg\.N before calling Validate`
+}
+
+// Apply takes the config by pointer; the contract is the same.
+func Apply(cfg *GoodConfig) int {
+	return cfg.N + 1 // want `Apply reads cfg\.N before calling Validate`
+}
+
+// peek is unexported: internal helpers may assume validated configs.
+func peek(cfg GoodConfig) int {
+	return cfg.N // ok: unexported helper, validation happened at the boundary
+}
+
+// legacyConfig is unexported, so the contract does not apply.
+type legacyConfig struct { // ok: unexported type
+	n int
+}
+
+// FrozenConfig is exempted with a reviewed rationale.
+type FrozenConfig struct { //symbee:ignore confvalid -- fixture: frozen wire-format struct, field semantics documented elsewhere
+	Raw []byte
+}
+
+var _ = BadConfig{}
+var _ = legacyConfig{}
+var _ = FrozenConfig{}
+var _ = peek

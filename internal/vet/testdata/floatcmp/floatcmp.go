@@ -33,3 +33,48 @@ func IsNaN(x float64) bool {
 func IntCompare(i, j int) bool {
 	return i == j // ok
 }
+
+// Dispatch switches on a computed float: every case is an exact ==.
+func Dispatch(rate float64) int {
+	switch rate * 2 {
+	case 0: // ok: constant-zero case keeps the zero-test exemption
+		return 0
+	case 20e6: // want `case on a floating-point tag is an exact ==`
+		return 1
+	case 40e6, 80e6: // want `case on a floating-point tag` `case on a floating-point tag`
+		return 2
+	}
+	return -1
+}
+
+// DispatchInt switches on an integer tag: cases are exact by nature.
+func DispatchInt(n int) bool {
+	switch n {
+	case 3: // ok: integer dispatch
+		return true
+	}
+	return false
+}
+
+// TaglessGuard is a tagless switch — its case expressions are ordinary
+// boolean conditions, covered by the binary rule, not the switch rule.
+func TaglessGuard(x float64) int {
+	switch {
+	case x > 1: // ok: inequality, not exact equality
+		return 1
+	case x == 2: // want `exact == between floating-point operands`
+		return 2
+	}
+	return 0
+}
+
+// PhaseBuckets keys a map by a computed float.
+func PhaseBuckets() map[float64]int { // want `map keyed by floating-point type float64`
+	return map[float64]int{} // want `map keyed by floating-point type float64`
+}
+
+// SpectrumIndex keys by complex frequency-bin values.
+type SpectrumIndex map[complex128]string // want `map keyed by floating-point type complex128`
+
+// ByName is keyed by a comparable non-float type.
+type ByName map[string]float64 // ok: float values are fine, only keys hash

@@ -1,0 +1,23 @@
+// Package ignoremulti exercises one suppression comment silencing two
+// different rules that fire on the same source line.
+package ignoremulti
+
+import "math/rand"
+
+// Suppressed packs an rngstream violation (captured Rand) and a
+// concurrency violation (joinless goroutine) onto one line, silenced by
+// a single comma-separated ignore.
+func Suppressed(seed int64) {
+	rng := rand.New(rand.NewSource(seed)) //symbee:ignore rngstream -- fixture: raw source feeding the capture case
+	go func() { _ = rng.Float64() }()     //symbee:ignore rngstream,concurrency -- fixture: one comment, two rules
+}
+
+// Control is the same shape with no suppression: both rules must fire
+// on the go-statement line. The blank line keeps the raw-source
+// suppression above from reaching the go statement via the line-above
+// rule.
+func Control(seed int64) {
+	rng := rand.New(rand.NewSource(seed)) //symbee:ignore rngstream -- fixture: raw source feeding the capture case
+
+	go func() { _ = rng.Float64() }()
+}

@@ -1,0 +1,5 @@
+// Package a is a leaf: its manifest line declares no dependencies.
+package a
+
+// Value is exported so the higher layers have something to import.
+func Value() int { return 1 } // ok: leaf package, no internal imports

@@ -1,0 +1,10 @@
+// Package b may import a — and nothing else under the prefix.
+package b
+
+import (
+	"fixture/layering/a" // ok: declared edge b -> a
+	"fixture/layering/f" // want `imports fixture/layering/f: edge not in the layering manifest`
+)
+
+// Sum crosses one legal and one illegal layer edge.
+func Sum() int { return a.Value() + f.Forbidden() }

@@ -1,0 +1,11 @@
+// Package c may import a, but reaches sideways into b instead.
+package c
+
+import (
+	"os" // ok: stdlib imports are never constrained
+
+	"fixture/layering/b" // want `imports fixture/layering/b: edge not in the layering manifest`
+)
+
+// Total leans on the undeclared edge.
+func Total() int { return b.Sum() + len(os.Args) }

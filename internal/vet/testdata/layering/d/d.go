@@ -1,0 +1,8 @@
+// Package d was added without declaring its layer.
+package d // want `package fixture/layering/d is not declared in the layering manifest`
+
+import "fixture/layering/a"
+
+// Twice would be perfectly layered — but the manifest does not know
+// the package exists, and new packages must declare their layer.
+func Twice() int { return 2 * a.Value() }

@@ -1,0 +1,7 @@
+// Package layering is a golden fixture for the layering analyzer. The
+// subdirectories form a small program whose manifest lives in
+// vet_test.go: a and f are leaves, b may import a, c may import a,
+// e may import a, and d is deliberately missing from the manifest.
+// This root package sits outside the layered prefix and is never
+// checked.
+package layering

@@ -1,0 +1,10 @@
+// Package e crosses an undeclared edge under a reviewed suppression.
+package e
+
+import (
+	"fixture/layering/a" // ok: declared edge e -> a
+	"fixture/layering/b" //symbee:ignore layering -- fixture: a deliberate, reviewed exception to the manifest
+)
+
+// Both uses the declared edge and the suppressed one.
+func Both() int { return a.Value() + b.Sum() }

@@ -1,0 +1,5 @@
+// Package f is a declared leaf that nobody is allowed to import.
+package f
+
+// Forbidden exists to be imported illegally by b.
+func Forbidden() int { return 6 }

@@ -1,0 +1,74 @@
+// Package rngstream is a golden fixture for the rngstream analyzer.
+package rngstream
+
+import (
+	"math/rand"
+
+	"fixture/rngstream/splitmix"
+)
+
+// Global is reachable from every goroutine the package ever starts.
+var Global = splitmix.New(1, 0) // want `package-level \*rand\.Rand "Global"`
+
+// RawSource does ad-hoc seed arithmetic — the correlated-streams hazard.
+func RawSource(seed int64, w int) float64 {
+	rng := rand.New(rand.NewSource(seed + int64(w)*7919)) // want `raw rand\.NewSource`
+	return rng.Float64()
+}
+
+// DupStreams derives the same stream constant twice from one seed.
+func DupStreams(seed int64) (float64, float64) {
+	a := splitmix.New(seed, 3)
+	b := splitmix.New(seed, 3) // want `stream constant 3 derived twice from seed seed`
+	return a.Float64(), b.Float64()
+}
+
+// DistinctStreams is the sanctioned layout: one constant per purpose.
+func DistinctStreams(seed int64) (float64, float64) {
+	sched := splitmix.New(seed, 0)
+	noise := splitmix.New(seed, -1) // ok: distinct stream constants never collide
+	return sched.Float64(), noise.Float64()
+}
+
+// PerWorker indexes streams by a loop variable — not a constant, so two
+// calls cannot silently collide.
+func PerWorker(seed int64, workers int) float64 {
+	var sum float64
+	for w := 0; w < workers; w++ {
+		rng := splitmix.New(seed, w) // ok: per-worker stream index
+		sum += rng.Float64()
+	}
+	return sum
+}
+
+// SharedAcrossGoroutines captures one generator in a go-launched
+// literal: draws race and the schedule decides the stream.
+func SharedAcrossGoroutines(seed int64) {
+	rng := splitmix.New(seed, 2)
+	done := make(chan struct{})
+	go func() {
+		_ = rng.Float64() // want `captured by a go-launched goroutine`
+		close(done)
+	}()
+	_ = rng.Float64()
+	<-done
+}
+
+// OwnedByGoroutine derives the generator inside the goroutine — the
+// Rand never crosses a goroutine boundary.
+func OwnedByGoroutine(seed int64) {
+	done := make(chan struct{})
+	go func() {
+		rng := splitmix.New(seed, 4) // ok: created inside the goroutine that uses it
+		_ = rng.Float64()
+		close(done)
+	}()
+	<-done
+}
+
+// Replayed reuses a historically pinned derivation under a reviewed
+// suppression.
+func Replayed(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) //symbee:ignore rngstream -- fixture: pinned legacy stream kept for artifact replay
+	return rng.Float64()
+}

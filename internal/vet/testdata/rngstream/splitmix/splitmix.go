@@ -1,0 +1,17 @@
+// Package splitmix is the fixture's stand-in for internal/splitmix:
+// the analyzer matches derivation calls by package name, and the
+// package itself is exempt from the raw-NewSource rule (it is where
+// the one legitimate NewSource lives).
+package splitmix
+
+import "math/rand"
+
+// Split derives stream's seed from the scenario seed.
+func Split(seed int64, stream int) int64 {
+	return seed ^ int64(stream+1)*0x9e3779b9
+}
+
+// New returns a generator over Split.
+func New(seed int64, stream int) *rand.Rand {
+	return rand.New(rand.NewSource(Split(seed, stream))) // ok: package splitmix owns the raw source
+}

@@ -5,8 +5,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one rule violation at one source position.
@@ -53,21 +55,43 @@ func Analyzers() []*Analyzer {
 		AnalyzerDeterminism(),
 		AnalyzerErrwrap(),
 		AnalyzerFloatcmp(),
+		AnalyzerLayering(),
+		AnalyzerRngstream(),
+		AnalyzerConfvalid(),
+		AnalyzerConcurrency(),
 	}
 }
 
 // Run applies the analyzers to every unit of the program, filters
 // suppressed findings, and returns the survivors sorted by position.
+// Units are analyzed in parallel (bounded by GOMAXPROCS): analyzers
+// only read the Program, so unit fan-out is safe, and the final sort
+// makes the output order independent of scheduling.
 func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, u := range prog.Units {
-		for _, az := range analyzers {
-			for _, d := range az.Run(prog, u) {
-				if !prog.suppressed(d) {
-					out = append(out, d)
+	perUnit := make([][]Diagnostic, len(prog.Units))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, u := range prog.Units {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, u *Unit) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			var diags []Diagnostic
+			for _, az := range analyzers {
+				for _, d := range az.Run(prog, u) {
+					if !prog.suppressed(d) {
+						diags = append(diags, d)
+					}
 				}
 			}
-		}
+			perUnit[i] = diags
+		}(i, u)
+	}
+	wg.Wait()
+	var out []Diagnostic
+	for _, diags := range perUnit {
+		out = append(out, diags...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

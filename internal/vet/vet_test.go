@@ -89,11 +89,32 @@ func TestGoldenHotpathAlloc(t *testing.T) { golden(t, "hotpath", AnalyzerHotpath
 func TestGoldenDeterminism(t *testing.T)  { golden(t, "determinism", AnalyzerDeterminism()) }
 func TestGoldenErrwrap(t *testing.T)      { golden(t, "errwrap", AnalyzerErrwrap()) }
 func TestGoldenFloatcmp(t *testing.T)     { golden(t, "floatcmp", AnalyzerFloatcmp()) }
+func TestGoldenRngstream(t *testing.T)    { golden(t, "rngstream", AnalyzerRngstream()) }
+func TestGoldenConfvalid(t *testing.T)    { golden(t, "confvalid", AnalyzerConfvalid()) }
+func TestGoldenConcurrency(t *testing.T)  { golden(t, "concurrency", AnalyzerConcurrency()) }
+
+// fixtureLayerManifest mirrors the shape of repoLayerManifest over the
+// layering fixture's subpackages: a and f are leaves, b/c/e each may
+// import a, and d is deliberately undeclared.
+const fixtureLayerManifest = `
+a:
+f:
+b: a
+c: a
+e: a
+`
+
+func TestGoldenLayering(t *testing.T) {
+	golden(t, "layering", newLayeringAnalyzer("fixture/layering/", fixtureLayerManifest))
+}
 
 // TestFixturesHaveCoverage pins the ISSUE's floor: every fixture holds
 // at least 3 positive (want) and 2 negative (ok:) cases.
 func TestFixturesHaveCoverage(t *testing.T) {
-	for _, fixture := range []string{"hotpath", "determinism", "errwrap", "floatcmp"} {
+	for _, fixture := range []string{
+		"hotpath", "determinism", "errwrap", "floatcmp",
+		"layering", "rngstream", "confvalid", "concurrency",
+	} {
 		prog, err := LoadDir(filepath.Join("testdata", fixture), "fixture/"+fixture)
 		if err != nil {
 			t.Fatalf("LoadDir(%s): %v", fixture, err)
@@ -122,7 +143,10 @@ func TestFixturesHaveCoverage(t *testing.T) {
 
 // TestAnalyzersRegistered pins the suite composition and ordering.
 func TestAnalyzersRegistered(t *testing.T) {
-	want := []string{"hotpath-alloc", "determinism", "errwrap", "floatcmp"}
+	want := []string{
+		"hotpath-alloc", "determinism", "errwrap", "floatcmp",
+		"layering", "rngstream", "confvalid", "concurrency",
+	}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("got %d analyzers, want %d", len(got), len(want))

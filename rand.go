@@ -3,6 +3,8 @@ package symbee
 import (
 	"math/rand"
 	"sync"
+
+	"symbee/internal/splitmix"
 )
 
 // lockedRand hands out deterministic child RNGs under a mutex so that
@@ -10,16 +12,22 @@ import (
 // reproducible for a fixed seed and call order.
 type lockedRand struct {
 	mu  sync.Mutex
-	src *rand.Rand
+	src *rand.Rand //symbee:guardedby mu
 }
 
+// newLockedRand roots the hierarchy at the scenario seed's splitmix
+// stream 0, so adjacent public seeds decorrelate the same way every
+// internal component's streams do.
 func newLockedRand(seed int64) *lockedRand {
-	return &lockedRand{src: rand.New(rand.NewSource(seed))}
+	return &lockedRand{src: splitmix.New(seed, 0)}
 }
 
-// fork derives an independent child RNG.
+// fork derives an independent child RNG. Children are seeded from the
+// parent's own output sequence — hierarchical derivation under the
+// lock, not seed arithmetic, so the rngstream concern about correlated
+// adjacent seeds does not apply here.
 func (l *lockedRand) fork() *rand.Rand {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return rand.New(rand.NewSource(l.src.Int63()))
+	return rand.New(rand.NewSource(l.src.Int63())) //symbee:ignore rngstream -- child seeds come from the parent stream's output, not from seed arithmetic; the parent is already splitmix-derived
 }

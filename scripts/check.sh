@@ -1,10 +1,9 @@
 #!/bin/sh
 # Repo-wide verification: formatting gate, build, vet, the project's own
 # static-analysis suite (symbeevet), full test suite, the panic gate for
-# library code, then the race detector over the concurrency-bearing
-# packages (the streaming pipeline, the decoder state machine, the link
-# stack, the ARQ layer and the channel simulator it drives), and the
-# equivalence gates. CI runs this same script, so a green local run
+# library code, then the race detector over every goroutine-spawning or
+# RNG-owning package (the audit and the resulting list live in
+# scripts/gates.sh), and the equivalence gates. CI runs this same script, so a green local run
 # means a green check job. The -run gate lists and race package scope
 # are shared with the CI workflows via scripts/gates.sh.
 set -eux
@@ -15,10 +14,11 @@ go build ./...
 go vet ./...
 go run ./cmd/symbeevet ./...
 go test ./...
-# Race coverage over the concurrency-bearing packages. The ARQ soak is
-# bounded to two seeds here: one seeded 4 KiB transfer costs ~1 min
-# under the race detector, and the full 100-seed acceptance sweep runs
-# race-free in CI's dedicated soak job.
+# Race coverage over every goroutine-spawning or RNG-owning package
+# (audit in scripts/gates.sh). The ARQ soak is bounded to two seeds
+# here: one seeded 4 KiB transfer costs ~1 min under the race detector,
+# and the full 100-seed acceptance sweep runs race-free in CI's
+# dedicated soak job.
 RELIABLE_SOAK_RUNS=2 go test -race -timeout 15m $RACE_PACKAGES
 # Medium-engine equivalence under the race detector: the event-driven
 # lazy synthesizer must reproduce the dense reference bit-for-bit

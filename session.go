@@ -60,6 +60,8 @@ var (
 	// DefaultSimConfig is the baseline simulated link: clean channel,
 	// C-Morse ack downlink.
 	DefaultSimConfig = reliable.DefaultSimConfig
+	// DefaultFaultConfig is the clean fault profile baseline.
+	DefaultFaultConfig = channel.DefaultFaultConfig
 	// NewSimLink builds a simulated link from a SimConfig.
 	NewSimLink = reliable.NewSimLink
 	// NewVirtualClock returns a discrete-event clock starting at zero.

@@ -27,6 +27,9 @@
 package symbee
 
 import (
+	"errors"
+	"fmt"
+
 	"symbee/internal/channel"
 	"symbee/internal/coding"
 	"symbee/internal/core"
@@ -139,6 +142,39 @@ type ChannelConfig struct {
 	Seed int64
 }
 
+// DefaultChannelConfig returns the baseline environment: the outdoor
+// scenario at 5 m, TelosB-maximum transmit power, a 20 Msps receiver
+// and no walls, motion or seed offset.
+func DefaultChannelConfig() ChannelConfig {
+	return ChannelConfig{
+		Scenario:   "outdoor",
+		Distance:   5,
+		SampleRate: 20e6,
+	}
+}
+
+// Channel config validation errors.
+var (
+	errChanNegative = errors.New("symbee: channel parameter must not be negative")
+)
+
+// Validate reports the first structural problem with the config. The
+// scenario name itself is resolved (and rejected) by NewChannel via
+// the preset registry.
+func (c ChannelConfig) Validate() error {
+	switch {
+	case c.Distance < 0:
+		return fmt.Errorf("%w: Distance %v", errChanNegative, c.Distance)
+	case c.SampleRate < 0:
+		return fmt.Errorf("%w: SampleRate %v", errChanNegative, c.SampleRate)
+	case c.Walls < 0:
+		return fmt.Errorf("%w: Walls %d", errChanNegative, c.Walls)
+	case c.SpeedMps < 0:
+		return fmt.Errorf("%w: SpeedMps %v", errChanNegative, c.SpeedMps)
+	}
+	return nil
+}
+
 // Channel is a reproducible simulated medium between a ZigBee sender and
 // a WiFi receiver. Each Transmit draws fresh shadowing, fading, noise
 // and interference per the scenario.
@@ -150,8 +186,13 @@ type Channel struct {
 
 type randSource = *lockedRand
 
-// NewChannel builds a channel for the given scenario.
+// NewChannel builds a channel for the given scenario. The zero values
+// of SampleRate and Distance keep their legacy meaning (20 Msps, 5 m);
+// start from DefaultChannelConfig to spell the baseline out.
 func NewChannel(cfg ChannelConfig) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.SampleRate == 0 {
 		cfg.SampleRate = 20e6
 	}
