@@ -232,7 +232,7 @@ func runReliableBench(seed int64, runs, msgLen int, outPath string) error {
 		if total := clean.AirtimeSec + clean.ReverseAirtimeSec; total > 0 {
 			block.ReverseFraction = clean.ReverseAirtimeSec / total
 		}
-		if dl == reliable.DownlinkIdeal {
+		if !dl.Modeled() {
 			block.ReverseOK = block.ReverseFraction == 0
 		} else {
 			// The acceptance gate: a modeled downlink must move real

@@ -1,0 +1,120 @@
+package link
+
+import "time"
+
+// TimedKind discriminates timed events on a duplex link's clock.
+type TimedKind int
+
+const (
+	// TimedAck is a cumulative acknowledgment arriving on the reverse
+	// channel.
+	TimedAck TimedKind = iota
+)
+
+// TimedEvent is one timed occurrence on a duplex link: a frame or ack
+// stamped with its generation and arrival instants on the shared
+// virtual clock. Where Event carries what was decoded, TimedEvent
+// carries when — the downlink stack's stages trade in these.
+type TimedEvent struct {
+	// Kind discriminates the event.
+	Kind TimedKind
+	// Seq is the event's sequence content (for TimedAck, the cumulative
+	// next-expected sequence number).
+	Seq byte
+	// Gen is when the event was generated on the link clock — for an
+	// ack, the end of the forward frame that triggered it. It stands in
+	// for the token a real downlink would carry, and lets the consumer
+	// tell a fresh ack from a stale one that spent its latency in
+	// flight.
+	Gen time.Duration
+	// At is when the event finished arriving (its last reverse-channel
+	// symbol landed).
+	At time.Duration
+}
+
+// TimedLayer is a stage that consumes timed frame/ack events at the top
+// of a downlink stack: ARQ ack delivery, latency probes, per-scheme
+// accounting. It is the timed counterpart of EventLayer.
+type TimedLayer interface {
+	Layer
+	OnTimed(ev TimedEvent) error
+}
+
+// TimedCollector is the default downlink sink: it queues timed events
+// for the owner to Drain, reusing one backing array so the steady-state
+// push path stays allocation-free.
+type TimedCollector struct {
+	pending []TimedEvent
+	stats   LayerStats
+}
+
+// NewTimedCollector returns an empty collector.
+func NewTimedCollector() *TimedCollector {
+	return &TimedCollector{stats: LayerStats{Name: "timedsink"}}
+}
+
+// Name implements Layer.
+func (c *TimedCollector) Name() string { return "timedsink" }
+
+// OnTimed implements TimedLayer: the event is appended to the pending
+// queue.
+func (c *TimedCollector) OnTimed(ev TimedEvent) error {
+	c.pending = append(c.pending, ev)
+	c.stats.In++
+	c.stats.Out++
+	return nil
+}
+
+// Drain returns the events collected since the last call. The returned
+// slice is the collector's internal queue and is reused: it stays valid
+// only until the next event lands; consumers that buffer across drains
+// must copy the elements out.
+func (c *TimedCollector) Drain() []TimedEvent {
+	out := c.pending
+	c.pending = c.pending[:0]
+	return out
+}
+
+// Flush implements Layer; a collector holds nothing back.
+func (c *TimedCollector) Flush() error { return nil }
+
+// Close implements Layer.
+func (c *TimedCollector) Close() error { return nil }
+
+// Stats implements Layer.
+func (c *TimedCollector) Stats() LayerStats { return c.stats }
+
+// TimedCallback adapts a function to a TimedLayer — scenario probes and
+// tests use it.
+type TimedCallback struct {
+	fn    func(TimedEvent)
+	stats LayerStats
+}
+
+// NewTimedCallback returns a timed layer invoking fn for every event. A
+// nil fn yields a drop-everything sink.
+func NewTimedCallback(fn func(TimedEvent)) *TimedCallback {
+	return &TimedCallback{fn: fn, stats: LayerStats{Name: "timedcallback"}}
+}
+
+// Name implements Layer.
+func (c *TimedCallback) Name() string { return "timedcallback" }
+
+// OnTimed implements TimedLayer.
+func (c *TimedCallback) OnTimed(ev TimedEvent) error {
+	c.stats.In++
+	if c.fn != nil {
+		c.fn(ev)
+		c.stats.Out++
+	}
+	return nil
+}
+
+// Flush implements Layer.
+func (c *TimedCallback) Flush() error { return nil }
+
+// Close implements Layer.
+func (c *TimedCallback) Close() error { return nil }
+
+// Stats implements Layer.
+func (c *TimedCallback) Stats() LayerStats { return c.stats }

@@ -7,20 +7,22 @@ import (
 	"time"
 
 	"symbee/internal/ctc"
+	"symbee/internal/link"
 )
 
 // DownlinkScheme selects the WiFi→ZigBee reverse-channel model that
 // carries acknowledgments back to the sender. The non-ideal schemes are
 // the packet-level side channels of internal/ctc, resolved through
 // ctc.NewDownlink at their published operating points with one-byte
-// cumulative acks.
+// cumulative acks; the model itself is the layered link.DownStack.
 type DownlinkScheme int
 
 const (
 	// DownlinkIdeal is the legacy free-reverse-channel assumption: acks
 	// arrive the instant the forward frame is delivered, cost no air,
-	// are never lost on the reverse path and never collide. It exists
-	// so the clean-channel overhead baseline stays measurable.
+	// never collide, and occupy the transmitter for no time (the
+	// downlink stack's explicit no-op occupancy stage). It exists so
+	// the clean-channel overhead baseline stays measurable.
 	DownlinkIdeal DownlinkScheme = iota
 	// DownlinkCMorse carries acks by C-Morse duration modulation:
 	// ≈37 ms per one-byte ack at ≈25% duty — fast enough to keep the
@@ -30,51 +32,92 @@ const (
 	// ≈512 ms per one-byte ack at ≈0.6% duty — nearly collision-free,
 	// but the ack latency dominates the round trip.
 	DownlinkFreeBee
+	// DownlinkDCTC carries acks by inter-packet gap modulation (2 bits
+	// per gap): ≈19 ms per one-byte ack at ≈26% duty, between C-Morse
+	// and FreeBee on the latency/duty plane but the fastest of the
+	// three modeled points.
+	DownlinkDCTC
+	// DownlinkEMF carries acks in the energy pattern of slotted frames:
+	// ≈20 ms per one-byte ack at ≈17% duty — C-Morse-class latency at
+	// a noticeably smaller collision cross-section.
+	DownlinkEMF
 )
+
+// downlinkTable is the single source of truth tying the DownlinkScheme
+// enum to the ctc registry: the bench-artifact name and the scheme
+// constructor (nil marks the ideal no-op downlink). String,
+// DownlinkSchemes, Modeled and the stack resolver all index it, so the
+// enum and the registry cannot drift.
+var downlinkTable = [...]struct {
+	name   string
+	scheme func() ctc.Scheme
+}{
+	DownlinkIdeal:   {name: "ideal"},
+	DownlinkCMorse:  {name: "cmorse", scheme: func() ctc.Scheme { return ctc.NewCMorse() }},
+	DownlinkFreeBee: {name: "freebee", scheme: func() ctc.Scheme { return ctc.NewFreeBee() }},
+	DownlinkDCTC:    {name: "dctc", scheme: func() ctc.Scheme { return ctc.NewDCTC() }},
+	DownlinkEMF:     {name: "emf", scheme: func() ctc.Scheme { return ctc.NewEMF() }},
+}
 
 // String names the scheme as it appears in bench artifacts.
 func (d DownlinkScheme) String() string {
-	switch d {
-	case DownlinkIdeal:
-		return "ideal"
-	case DownlinkCMorse:
-		return "cmorse"
-	case DownlinkFreeBee:
-		return "freebee"
+	if d < 0 || int(d) >= len(downlinkTable) {
+		return "unknown"
 	}
-	return "unknown"
+	return downlinkTable[d].name
+}
+
+// Modeled reports whether the scheme models a real reverse channel —
+// false only for the ideal baseline.
+func (d DownlinkScheme) Modeled() bool {
+	return d >= 0 && int(d) < len(downlinkTable) && downlinkTable[d].scheme != nil
 }
 
 // DownlinkSchemes lists every modeled reverse channel, ideal first.
 func DownlinkSchemes() []DownlinkScheme {
-	return []DownlinkScheme{DownlinkIdeal, DownlinkCMorse, DownlinkFreeBee}
+	out := make([]DownlinkScheme, len(downlinkTable))
+	for i := range downlinkTable {
+		out[i] = DownlinkScheme(i)
+	}
+	return out
 }
 
 // errDownlink rejects unknown DownlinkScheme values.
 var errDownlink = errors.New("reliable: unknown downlink scheme")
 
-// timing resolves the per-ack-copy occupancy of the scheme: the
-// wall-clock span one copy holds the reverse channel, the on-air time
-// within it, and the fixed turnaround before the first copy can start.
-func (d DownlinkScheme) timing() (wall, air, base time.Duration, err error) {
-	if d == DownlinkIdeal {
-		return 0, 0, 0, nil
+// downlink resolves the scheme's ack-downlink timing model at its
+// published operating point with one-byte cumulative acks. The ideal
+// baseline resolves to nil: link.NewDownStack turns that into the
+// explicit no-op occupancy stage.
+func (d DownlinkScheme) downlink() (*ctc.Downlink, error) {
+	if d < 0 || int(d) >= len(downlinkTable) {
+		return nil, fmt.Errorf("%w: %d", errDownlink, d)
 	}
-	var s ctc.Scheme
-	switch d {
-	case DownlinkCMorse:
-		s = ctc.NewCMorse()
-	case DownlinkFreeBee:
-		s = ctc.NewFreeBee()
-	default:
-		return 0, 0, 0, fmt.Errorf("%w: %d", errDownlink, d)
+	entry := downlinkTable[d]
+	if entry.scheme == nil {
+		return nil, nil
 	}
-	dl, err := ctc.NewDownlink(ctc.DefaultDownlink(s))
+	dl, err := ctc.NewDownlink(ctc.DefaultDownlink(entry.scheme()))
 	if err != nil {
-		return 0, 0, 0, fmt.Errorf("reliable: %w", err)
+		return nil, fmt.Errorf("reliable: %w", err)
 	}
-	sec := func(x float64) time.Duration { return time.Duration(x * float64(time.Second)) }
-	return sec(dl.AckWall()), sec(dl.AckAir()), sec(dl.BaseLatency()), nil
+	return dl, nil
+}
+
+// newDownStack builds the layered downlink stack for the scheme.
+// repeat ≥ 1 is the caller's responsibility (SimConfig.Validate
+// enforces it).
+func (d DownlinkScheme) newDownStack(repeat int, dropCopy func() bool, collide *rand.Rand) (*link.DownStack, error) {
+	dl, err := d.downlink()
+	if err != nil {
+		return nil, err
+	}
+	return link.NewDownStack(link.DownSpec{
+		Downlink: dl,
+		Repeat:   repeat,
+		DropCopy: dropCopy,
+		Collide:  collide,
+	})
 }
 
 // AckEvent is one acknowledgment arriving at the sender over the
@@ -93,7 +136,30 @@ type AckEvent struct {
 	At time.Duration
 }
 
-// ReverseStats summarizes one transport's reverse-channel activity.
+// ackEvents converts the downlink stack's timed arrivals to the
+// transport's AckEvent form. The input slice is the stack collector's
+// reused queue, so the conversion copies everything out.
+func ackEvents(evs []link.TimedEvent) []AckEvent {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]AckEvent, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Kind != link.TimedAck {
+			continue
+		}
+		out = append(out, AckEvent{
+			Ack:         Ack{NextSeq: ev.Seq},
+			GeneratedAt: ev.Gen,
+			At:          ev.At,
+		})
+	}
+	return out
+}
+
+// ReverseStats summarizes one transport's reverse-channel activity. It
+// is assembled from the downlink stack's cross-stage ledger
+// (link.DownStack.Ledger).
 type ReverseStats struct {
 	// AcksSent counts committed ack copies put on the air.
 	AcksSent int
@@ -112,195 +178,14 @@ type ReverseStats struct {
 	Airtime time.Duration
 }
 
-// ackCopy is one committed reverse-channel transmission of an ack.
-type ackCopy struct {
-	ack        Ack
-	gen        time.Duration // when the receiver generated the ack
-	start, end time.Duration // reverse-channel occupancy span
-	dropped    bool          // lost (reverse fault or collision): never arrives
-}
-
-// pendingAck is the newest cumulative ack queued behind the serial
-// reverse transmitter, not yet started. A newer ack generated before it
-// starts replaces it — cumulative acks make the older one redundant.
-type pendingAck struct {
-	ack   Ack
-	gen   time.Duration
-	start time.Duration
-	drop  bool // scripted loss for this ack's copies (tests)
-}
-
-// reverseChannel models the serial WiFi→ZigBee ack downlink shared by
-// every Transport implementation in this package. It is discrete-event:
-// callers push generations at forward-frame delivery instants and pull
-// arrivals with explicit `now` stamps, so the model needs no clock of
-// its own and composes with both virtual and wall clocks.
-type reverseChannel struct {
-	wall, air, base time.Duration // per-copy occupancy, on-air time, turnaround
-	repeat          int           // copies per committed ack
-	dropCopy        func() bool   // per-copy reverse loss draw (nil = lossless)
-	collide         *rand.Rand    // collision draws (nil = never collides)
-
-	busyUntil time.Duration // serial transmitter: when the last copy ends
-	pending   *pendingAck
-	inFlight  []ackCopy
-	stats     ReverseStats
-}
-
-// newReverseChannel builds the downlink for the scheme. repeat ≥ 1 is
-// the caller's responsibility (SimConfig.Validate enforces it).
-func newReverseChannel(scheme DownlinkScheme, repeat int, dropCopy func() bool, collide *rand.Rand) (*reverseChannel, error) {
-	wall, air, base, err := scheme.timing()
-	if err != nil {
-		return nil, err
+// reverseStats converts a downlink stack ledger to the transport form.
+func reverseStats(l link.DownlinkLedger) ReverseStats {
+	return ReverseStats{
+		AcksSent:          l.AcksSent,
+		AcksCoalesced:     l.AcksCoalesced,
+		AcksDropped:       l.AcksDropped,
+		AckCollisions:     l.AckCollisions,
+		ForwardCollisions: l.ForwardCollisions,
+		Airtime:           l.Airtime,
 	}
-	return &reverseChannel{
-		wall: wall, air: air, base: base,
-		repeat:   repeat,
-		dropCopy: dropCopy,
-		collide:  collide,
-	}, nil
-}
-
-// latency is the nominal one-way ack delay on an idle reverse channel:
-// turnaround plus one copy's span (the ack decodes when its last symbol
-// lands).
-func (rc *reverseChannel) latency() time.Duration { return rc.base + rc.wall }
-
-// advance commits the pending ack once simulated time reaches its start
-// instant: its copies are scheduled serially, each drawing its reverse
-// loss, and the transmitter is busy until the last one ends. Callers
-// invoke it with every observed `now`, so commitment order follows
-// simulated time regardless of which accessor runs first.
-func (rc *reverseChannel) advance(now time.Duration) {
-	p := rc.pending
-	if p == nil || p.start > now {
-		return
-	}
-	rc.pending = nil
-	for k := 0; k < rc.repeat; k++ {
-		c := ackCopy{
-			ack:   p.ack,
-			gen:   p.gen,
-			start: p.start + time.Duration(k)*rc.wall,
-			end:   p.start + time.Duration(k+1)*rc.wall,
-		}
-		if p.drop || (rc.dropCopy != nil && rc.dropCopy()) {
-			c.dropped = true
-			rc.stats.AcksDropped++
-		}
-		rc.inFlight = append(rc.inFlight, c)
-		rc.stats.AcksSent++
-		rc.stats.Airtime += rc.air
-	}
-	rc.busyUntil = p.start + time.Duration(rc.repeat)*rc.wall
-}
-
-// generate hands the receiver's cumulative ack to the downlink at time
-// gen (the forward frame's delivery instant). The copy starts after the
-// turnaround, or when the serial transmitter frees up, whichever is
-// later; a still-queued older ack is coalesced away. drop forces every
-// copy of this ack to be lost (scripted tests; simulated links draw
-// per-copy through dropCopy instead).
-func (rc *reverseChannel) generate(gen time.Duration, ack Ack, drop bool) {
-	rc.advance(gen)
-	start := gen + rc.base
-	if rc.busyUntil > start {
-		start = rc.busyUntil
-	}
-	if rc.pending != nil {
-		rc.stats.AcksCoalesced++
-	}
-	rc.pending = &pendingAck{ack: ack, gen: gen, start: start, drop: drop}
-}
-
-// collideForward resolves the half-duplex interaction between a forward
-// frame on the air over [start, end] and every reverse copy whose span
-// overlaps it. The reverse transmitter radiates air/wall (duty) of an
-// ack span, so the forward frame is destroyed with probability duty per
-// overlapping copy; the forward frame radiates continuously, so the
-// copy is destroyed with probability overlap/wall (the fraction of its
-// span the frame covers). Both draws come from the collision stream and
-// are consumed for every overlapping pair, killed or not, so one
-// outcome never shifts the next pair's draw. It reports whether the
-// forward frame was destroyed. Callers must advance(end) first so
-// copies starting mid-frame participate.
-func (rc *reverseChannel) collideForward(start, end time.Duration) bool {
-	if rc.collide == nil || rc.wall <= 0 {
-		return false
-	}
-	duty := float64(rc.air) / float64(rc.wall)
-	killed := false
-	for i := range rc.inFlight {
-		c := &rc.inFlight[i]
-		lo, hi := c.start, c.end
-		if lo < start {
-			lo = start
-		}
-		if hi > end {
-			hi = end
-		}
-		if hi <= lo {
-			continue
-		}
-		fwdDraw := rc.collide.Float64()
-		copyDraw := rc.collide.Float64()
-		if fwdDraw < duty {
-			if !killed {
-				rc.stats.ForwardCollisions++
-			}
-			killed = true
-		}
-		if copyDraw < float64(hi-lo)/float64(c.end-c.start) && !c.dropped {
-			c.dropped = true
-			rc.stats.AckCollisions++
-		}
-	}
-	return killed
-}
-
-// acks drains every copy that has fully arrived by now, in arrival
-// order, skipping dropped ones.
-func (rc *reverseChannel) acks(now time.Duration) []AckEvent {
-	rc.advance(now)
-	var out []AckEvent
-	keep := rc.inFlight[:0]
-	for _, c := range rc.inFlight {
-		if c.end > now {
-			keep = append(keep, c)
-			continue
-		}
-		if !c.dropped {
-			out = append(out, AckEvent{Ack: c.ack, GeneratedAt: c.gen, At: c.end})
-		}
-	}
-	rc.inFlight = keep
-	return out
-}
-
-// nextArrival reports when the next ack will finish arriving, if any is
-// scheduled: the earliest surviving committed copy, or the queued
-// pending ack's first copy. Copies already dropped never arrive and are
-// skipped — the sender cannot know, which is exactly why it also keeps
-// a retransmission timer.
-func (rc *reverseChannel) nextArrival(now time.Duration) (time.Duration, bool) {
-	rc.advance(now)
-	best := time.Duration(-1)
-	for _, c := range rc.inFlight {
-		if c.dropped || c.end <= now {
-			continue
-		}
-		if best < 0 || c.end < best {
-			best = c.end
-		}
-	}
-	if p := rc.pending; p != nil && !p.drop {
-		if first := p.start + rc.wall; best < 0 || first < best {
-			best = first
-		}
-	}
-	if best < 0 {
-		return 0, false
-	}
-	return best, true
 }

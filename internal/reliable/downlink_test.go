@@ -7,132 +7,110 @@ import (
 	"time"
 
 	"symbee/internal/channel"
-	"symbee/internal/splitmix"
+	"symbee/internal/link"
 	"symbee/internal/stream"
 )
 
-func TestDownlinkSchemeTiming(t *testing.T) {
-	for _, d := range DownlinkSchemes() {
-		wall, air, base, err := d.timing()
+func TestDownlinkSchemeTable(t *testing.T) {
+	schemes := DownlinkSchemes()
+	if len(schemes) != 5 {
+		t.Fatalf("schemes = %v, want ideal + 4 modeled operating points", schemes)
+	}
+	names := map[DownlinkScheme]string{
+		DownlinkIdeal:   "ideal",
+		DownlinkCMorse:  "cmorse",
+		DownlinkFreeBee: "freebee",
+		DownlinkDCTC:    "dctc",
+		DownlinkEMF:     "emf",
+	}
+	for _, d := range schemes {
+		if d.String() != names[d] {
+			t.Errorf("scheme %d named %q, want %q", d, d.String(), names[d])
+		}
+		dl, err := d.downlink()
 		if err != nil {
 			t.Fatalf("%s: %v", d, err)
 		}
 		if d == DownlinkIdeal {
-			if wall != 0 || air != 0 || base != 0 {
-				t.Errorf("ideal downlink has nonzero timing %v/%v/%v", wall, air, base)
+			if d.Modeled() {
+				t.Error("ideal reports Modeled")
+			}
+			if dl != nil {
+				t.Errorf("ideal resolved a ctc downlink: %+v", dl)
 			}
 			continue
 		}
-		if wall <= 0 || air <= 0 || air > wall || base <= 0 {
-			t.Errorf("%s: wall=%v air=%v base=%v", d, wall, air, base)
+		if !d.Modeled() {
+			t.Errorf("%s does not report Modeled", d)
+		}
+		if dl.AckWall() <= 0 || dl.AckAir() <= 0 || dl.AckAir() > dl.AckWall() || dl.BaseLatency() <= 0 {
+			t.Errorf("%s: wall=%v air=%v base=%v", d, dl.AckWall(), dl.AckAir(), dl.BaseLatency())
 		}
 	}
-	if _, _, _, err := DownlinkScheme(99).timing(); err == nil {
+	if _, err := DownlinkScheme(99).downlink(); err == nil {
 		t.Error("unknown scheme accepted")
 	}
+	if DownlinkScheme(99).String() != "unknown" || DownlinkScheme(99).Modeled() {
+		t.Error("unknown scheme named or modeled")
+	}
+}
+
+func TestDownlinkSchemeOperatingPoints(t *testing.T) {
+	duty := func(d DownlinkScheme) (wall, duty float64) {
+		dl, err := d.downlink()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dl.AckWall(), dl.Duty()
+	}
 	// FreeBee acks are far slower but far lower duty than C-Morse.
-	cw, ca, _, _ := DownlinkCMorse.timing()
-	fw, fa, _, _ := DownlinkFreeBee.timing()
+	cw, cd := duty(DownlinkCMorse)
+	fw, fd := duty(DownlinkFreeBee)
 	if fw <= cw {
 		t.Errorf("FreeBee wall %v should exceed C-Morse wall %v", fw, cw)
 	}
-	if float64(fa)/float64(fw) >= float64(ca)/float64(cw) {
+	if fd >= cd {
 		t.Error("FreeBee duty should be below C-Morse duty")
 	}
-}
-
-func TestReverseChannelSerialAndCoalescing(t *testing.T) {
-	// Serial transmitter with a 10 ms wall: an ack generated while the
-	// previous one is on the air queues behind it; a third ack generated
-	// before the queued one starts replaces it (cumulative coalescing).
-	rc := &reverseChannel{wall: 10 * time.Millisecond, air: 2 * time.Millisecond,
-		base: time.Millisecond, repeat: 1}
-	rc.generate(0, Ack{NextSeq: 1}, false)                  // starts at 1ms, ends 11ms
-	rc.generate(2*time.Millisecond, Ack{NextSeq: 2}, false) // queued: starts 11ms
-	rc.generate(4*time.Millisecond, Ack{NextSeq: 3}, false) // replaces NextSeq 2
-	evs := rc.acks(11 * time.Millisecond)
-	if len(evs) != 1 || evs[0].Ack.NextSeq != 1 || evs[0].At != 11*time.Millisecond {
-		t.Fatalf("first drain = %+v", evs)
+	// DCTC is the fastest modeled point; EMF sits at C-Morse-class
+	// latency with a smaller collision cross-section.
+	dw, _ := duty(DownlinkDCTC)
+	ew, ed := duty(DownlinkEMF)
+	if dw >= cw || dw >= ew {
+		t.Errorf("DCTC wall %v should undercut C-Morse %v and EMF %v", dw, cw, ew)
 	}
-	evs = rc.acks(21 * time.Millisecond)
-	if len(evs) != 1 || evs[0].Ack.NextSeq != 3 {
-		t.Fatalf("second drain = %+v, want the coalesced NextSeq 3", evs)
-	}
-	if evs[0].At != 21*time.Millisecond {
-		t.Errorf("queued ack arrived at %v, want serialized 21ms", evs[0].At)
-	}
-	if rc.stats.AcksCoalesced != 1 {
-		t.Errorf("coalesced = %d, want 1", rc.stats.AcksCoalesced)
-	}
-	if rc.stats.AcksSent != 2 {
-		t.Errorf("sent = %d, want 2 (NextSeq 2 never aired)", rc.stats.AcksSent)
-	}
-	if want := 2 * rc.air; rc.stats.Airtime != want {
-		t.Errorf("reverse airtime = %v, want %v", rc.stats.Airtime, want)
+	if ed >= cd {
+		t.Error("EMF duty should be below C-Morse duty")
 	}
 }
 
-func TestReverseChannelNextArrival(t *testing.T) {
-	rc := &reverseChannel{wall: 10 * time.Millisecond, base: time.Millisecond, repeat: 2}
-	if _, ok := rc.nextArrival(0); ok {
-		t.Fatal("idle channel reported an arrival")
-	}
-	rc.generate(0, Ack{NextSeq: 1}, false)
-	next, ok := rc.nextArrival(0)
-	if !ok || next != 11*time.Millisecond {
-		t.Fatalf("next = %v %v, want first copy at 11ms", next, ok)
-	}
-	// After the first copy lands, the repeat copy is next.
-	rc.acks(11 * time.Millisecond)
-	next, ok = rc.nextArrival(11 * time.Millisecond)
-	if !ok || next != 21*time.Millisecond {
-		t.Fatalf("next = %v %v, want repeat copy at 21ms", next, ok)
-	}
-	// A fully dropped ack never arrives.
-	rc2 := &reverseChannel{wall: 10 * time.Millisecond, repeat: 1}
-	rc2.generate(0, Ack{NextSeq: 1}, true)
-	if _, ok := rc2.nextArrival(0); ok {
-		t.Fatal("dropped ack reported as arriving")
-	}
-}
-
-func TestReverseChannelCollisionModel(t *testing.T) {
-	const trials = 4000
-	run := func(seed int64, overlapFrac float64) (fwd, ack int) {
-		rc := &reverseChannel{wall: 10 * time.Millisecond, air: 5 * time.Millisecond,
-			repeat: 1, collide: splitmix.New(seed, splitmix.CollisionStream)}
-		span := time.Duration(overlapFrac * float64(rc.wall))
-		for i := 0; i < trials; i++ {
-			rc.inFlight = []ackCopy{{start: 0, end: rc.wall}}
-			rc.collideForward(0, span)
+// TestSimLinkDownlinkLatency pins the Transport-level latency of each
+// modeled scheme to its ctc operating point through the layered stack.
+func TestSimLinkDownlinkLatency(t *testing.T) {
+	for _, d := range DownlinkSchemes() {
+		cfg := DefaultSimConfig()
+		cfg.Downlink = d
+		l, err := NewSimLink(cfg)
+		if err != nil {
+			t.Fatal(err)
 		}
-		return rc.stats.ForwardCollisions, rc.stats.AckCollisions
-	}
-	// Full overlap: the copy is always destroyed; the forward frame dies
-	// at the 50% duty cross-section.
-	fwd, ack := run(7, 1)
-	if ack != trials {
-		t.Errorf("full overlap destroyed %d/%d copies", ack, trials)
-	}
-	if fwd < trials*45/100 || fwd > trials*55/100 {
-		t.Errorf("forward kills = %d/%d, want ≈50%%", fwd, trials)
-	}
-	// 20% overlap: the copy survives ~80% of the time; the forward
-	// frame's cross-section is unchanged (duty, not overlap).
-	_, ack = run(8, 0.2)
-	if ack < trials*15/100 || ack > trials*25/100 {
-		t.Errorf("partial-overlap copy kills = %d/%d, want ≈20%%", ack, trials)
-	}
-	// Same seed, same schedule: the collision stream is deterministic.
-	f1, a1 := run(9, 0.5)
-	f2, a2 := run(9, 0.5)
-	if f1 != f2 || a1 != a2 {
-		t.Errorf("same seed diverged: %d/%d vs %d/%d", f1, a1, f2, a2)
-	}
-	// An ideal downlink never collides and draws nothing.
-	rc := &reverseChannel{repeat: 1, collide: splitmix.New(1, splitmix.CollisionStream)}
-	if rc.collideForward(0, time.Second) {
-		t.Error("ideal downlink killed a forward frame")
+		lat := l.AckLatency()
+		l.Close()
+		if d == DownlinkIdeal {
+			if lat != 0 {
+				t.Errorf("ideal latency = %v", lat)
+			}
+			continue
+		}
+		dl, err := d.downlink()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := time.Duration(dl.AckWall()*float64(time.Second)) +
+			time.Duration(dl.BaseLatency()*float64(time.Second))
+		if lat != want {
+			t.Errorf("%s latency = %v, want %v", d, lat, want)
+		}
 	}
 }
 
@@ -183,6 +161,50 @@ func TestSimLinkReverseCollisions(t *testing.T) {
 	rep2, stats2 := run()
 	if *rep != *rep2 || stats != stats2 {
 		t.Errorf("same seed diverged:\n%+v %+v\n%+v %+v", rep, stats, rep2, stats2)
+	}
+}
+
+// TestSimLinkLayerStats checks the duplex surfaces per-stage accounting
+// for both halves: the uplink decode stages and the downlink's
+// coalescer → occupancy → fault → sink chain.
+func TestSimLinkLayerStats(t *testing.T) {
+	cfg := DefaultSimConfig()
+	l, err := NewSimLink(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	s, err := NewSession(l, cfgSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Send(context.Background(), testMessage(100)); err != nil {
+		t.Fatal(err)
+	}
+	stats := l.Duplex().LayerStats()
+	byName := map[string]bool{}
+	for _, st := range stats {
+		byName[st.Name] = true
+	}
+	for _, want := range []string{"frame", "coalescer", "occupancy:C-Morse", "reversefault", "timedsink"} {
+		if !byName[want] {
+			t.Errorf("missing layer %q in %v", want, stats)
+		}
+	}
+	var coal, sink link.LayerStats
+	for _, st := range stats {
+		switch st.Name {
+		case "coalescer":
+			coal = st
+		case "timedsink":
+			sink = st
+		}
+	}
+	if coal.In == 0 || coal.Out == 0 {
+		t.Errorf("coalescer idle over a full transfer: %+v", coal)
+	}
+	if sink.Out == 0 {
+		t.Errorf("ack sink idle over a full transfer: %+v", sink)
 	}
 }
 

@@ -54,27 +54,27 @@ func (c SimConfig) Validate() error {
 	if c.AckRepeat < 1 {
 		return fmt.Errorf("%w: %d", errAckRepeat, c.AckRepeat)
 	}
-	if _, _, _, err := c.Downlink.timing(); err != nil {
+	if _, err := c.Downlink.downlink(); err != nil {
 		return err
 	}
 	return nil
 }
 
-// SimLink is a reliable.Transport that runs every forward frame through
-// the real SymBee PHY — modulator, fault-injected channel, WiFi
-// phase-extraction front end and a link.Stack receive pipeline (batch
-// or streaming preset) — and the ARQ receive side, then hands the
-// resulting cumulative ack to a modeled WiFi→ZigBee reverse channel.
-// Acks cost reverse airtime, arrive one downlink-latency late, can be
-// lost on the reverse path and can collide with forward frames; the
-// DownlinkIdeal scheme switches all of that off for baselines.
+// SimLink is a reliable.Transport that runs entirely over a
+// link.Duplex: every forward frame goes through the real SymBee PHY —
+// modulator, fault-injected channel, WiFi phase-extraction front end
+// and the duplex's uplink decode Stack (batch or streaming preset) —
+// and the ARQ receive side, then the resulting cumulative ack rides
+// the duplex's layered downlink stack back. Acks cost reverse airtime,
+// arrive one downlink-latency late, can be lost on the reverse path
+// and can collide with forward frames; the DownlinkIdeal scheme builds
+// the stack's explicit no-op occupancy stage for baselines.
 type SimLink struct {
 	phy     *core.Link
 	dec     *core.Decoder
 	inj     *channel.FaultInjector
 	arq     *Receiver
-	rc      *reverseChannel
-	stack   *link.Stack
+	duplex  *link.Duplex
 	batch   bool
 	pad     []float64
 	metrics *link.Metrics
@@ -114,13 +114,14 @@ func NewSimLink(cfg SimConfig) (*SimLink, error) {
 		}
 		return false
 	}
-	l.rc, err = newReverseChannel(cfg.Downlink, cfg.AckRepeat, dropCopy,
+	down, err := cfg.Downlink.newDownStack(cfg.AckRepeat, dropCopy,
 		splitmix.New(cfg.Faults.Seed, splitmix.CollisionStream))
 	if err != nil {
 		return nil, err
 	}
+	var up *link.Stack
 	if cfg.Stream {
-		l.stack, err = link.NewReliable(l.dec, m)
+		up, err = link.NewReliable(l.dec, m)
 		if err != nil {
 			return nil, fmt.Errorf("reliable: %w", err)
 		}
@@ -134,10 +135,14 @@ func NewSimLink(cfg SimConfig) (*SimLink, error) {
 		// Batch path: one whole-capture stack, reset per capture —
 		// identical semantics to the historical per-capture
 		// Decoder.DecodeFrame, without rebuilding the machine each time.
-		l.stack, err = link.NewBatch(l.dec, m)
+		up, err = link.NewBatch(l.dec, m)
 		if err != nil {
 			return nil, fmt.Errorf("reliable: %w", err)
 		}
+	}
+	l.duplex, err = link.NewDuplex(up, down)
+	if err != nil {
+		return nil, fmt.Errorf("reliable: %w", err)
 	}
 	return l, nil
 }
@@ -159,19 +164,27 @@ func (l *SimLink) Messages() [][]byte { return l.arq.Messages() }
 // FaultStats reports the injector's lost/jammed/drifted frame counts.
 func (l *SimLink) FaultStats() (lost, jammed, drifted int) { return l.inj.Stats() }
 
+// Duplex returns the layered duplex pipeline the link runs over (for
+// per-stage stats and tests).
+func (l *SimLink) Duplex() *link.Duplex { return l.duplex }
+
 // ReverseStats reports the downlink's ack ledger: copies sent, airtime
 // spent, coalesced, dropped and collided.
-func (l *SimLink) ReverseStats() ReverseStats { return l.rc.stats }
+func (l *SimLink) ReverseStats() ReverseStats {
+	return reverseStats(l.duplex.Down().Ledger())
+}
 
 // AckLatency implements Transport.
-func (l *SimLink) AckLatency() time.Duration { return l.rc.latency() }
+func (l *SimLink) AckLatency() time.Duration { return l.duplex.Down().Latency() }
 
 // Acks implements Transport.
-func (l *SimLink) Acks(now time.Duration) []AckEvent { return l.rc.acks(now) }
+func (l *SimLink) Acks(now time.Duration) []AckEvent {
+	return ackEvents(l.duplex.Down().Arrivals(now))
+}
 
 // NextArrival implements Transport.
 func (l *SimLink) NextArrival(now time.Duration) (time.Duration, bool) {
-	return l.rc.nextArrival(now)
+	return l.duplex.Down().NextArrival(now)
 }
 
 // Send implements Transport: encode (plain or Hamming-coded), modulate,
@@ -192,8 +205,7 @@ func (l *SimLink) Send(now time.Duration, f *core.Frame, coded bool) (time.Durat
 		return 0, err
 	}
 	end := now + airtime
-	l.rc.advance(end)
-	if l.rc.collideForward(now, end) {
+	if l.duplex.ForwardCollides(now, end) {
 		l.metrics.FramesLost.Add(1)
 		return airtime, nil
 	}
@@ -212,7 +224,7 @@ func (l *SimLink) Send(now time.Duration, f *core.Frame, coded bool) (time.Durat
 		return airtime, nil
 	}
 	ack, _ := l.arq.Deliver(frame)
-	l.rc.generate(end, ack, false)
+	l.duplex.Down().Generate(end, ack.NextSeq, false)
 	return airtime, nil
 }
 
@@ -223,11 +235,12 @@ func (l *SimLink) Send(now time.Duration, f *core.Frame, coded bool) (time.Durat
 // version 4), which is what makes negotiation-free escalation work.
 func (l *SimLink) receive(capture []complex128) *core.Frame {
 	phases := l.phy.Phases(capture)
+	up := l.duplex.Up()
 	if l.batch {
-		l.stack.Reset()
-		l.stack.PushPhases(phases)
-		l.stack.Flush()
-		frame, _ := terminalEvent(l.stack.Drain())
+		up.Reset()
+		up.PushPhases(phases)
+		up.Flush()
+		frame, _ := terminalEvent(up.Drain())
 		if frame == nil {
 			// Any plain failure — including a missing preamble, which
 			// emits no event at all — triggers the coded trial, exactly
@@ -236,11 +249,11 @@ func (l *SimLink) receive(capture []complex128) *core.Frame {
 		}
 		return frame
 	}
-	l.stack.PushPhases(phases)
+	up.PushPhases(phases)
 	if n := len(l.pad) - len(phases); n > 0 {
-		l.stack.PushPhases(l.pad[:n])
+		up.PushPhases(l.pad[:n])
 	}
-	frame, failed := terminalEvent(l.stack.Drain())
+	frame, failed := terminalEvent(up.Drain())
 	if frame == nil && failed {
 		frame, _ = DecodeCodedPhases(l.dec, phases)
 	}
@@ -266,8 +279,8 @@ type Event = link.Event
 
 // Close flushes the streaming receive path, if any.
 func (l *SimLink) Close() {
-	l.stack.Flush()
-	l.stack.Drain()
+	l.duplex.Up().Flush()
+	l.duplex.Up().Drain()
 }
 
 // FrameAirtime is the forward ZigBee airtime of one SymBee frame

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"symbee/internal/core"
+	"symbee/internal/link"
 	"symbee/internal/stream"
 	"symbee/internal/testutil"
 )
@@ -15,14 +16,14 @@ import (
 // scriptTx is a Transport driven by a per-send outcome script:
 // 'd' deliver and ack, 'l' lose the frame, 'a' deliver but lose every
 // copy of the ack. Past the end of the script every send is 'd'. Acks
-// ride an in-package reverseChannel — ideal (zero-width, zero-latency)
-// by default, so scripted tests reproduce the classic synchronous
+// ride a layered link.DownStack — ideal (zero-width, zero-latency) by
+// default, so scripted tests reproduce the classic synchronous
 // timeline through the async contract.
 type scriptTx struct {
 	script []byte
 	i      int
 	arq    *Receiver
-	rc     *reverseChannel
+	down   *link.DownStack
 	coded  []bool // coding mode of each send, in order
 }
 
@@ -30,13 +31,20 @@ func newScriptTx(script string) *scriptTx {
 	return newScriptTxDownlink(script, 0, 0, 0, 1)
 }
 
-// newScriptTxDownlink scripts outcomes over a reverse channel with the
+// newScriptTxDownlink scripts outcomes over a downlink stack with the
 // given per-copy wall span, on-air time, turnaround and repeat count.
 func newScriptTxDownlink(script string, wall, air, base time.Duration, repeat int) *scriptTx {
+	down, err := link.NewDownStack(link.DownSpec{
+		Timing: &link.DownTiming{Wall: wall, Air: air, Base: base},
+		Repeat: repeat,
+	})
+	if err != nil {
+		panic(err)
+	}
 	return &scriptTx{
 		script: []byte(script),
 		arq:    NewReceiver(nil),
-		rc:     &reverseChannel{wall: wall, air: air, base: base, repeat: repeat},
+		down:   down,
 	}
 }
 
@@ -49,27 +57,29 @@ func (tx *scriptTx) Send(now time.Duration, f *core.Frame, coded bool) (time.Dur
 	tx.coded = append(tx.coded, coded)
 	at := FrameAirtime(len(f.Data), coded)
 	end := now + at
-	tx.rc.advance(end)
+	tx.down.Advance(end)
 	switch op {
 	case 'l':
 		// Frame lost on the forward path: no delivery, no ack.
 	case 'a':
 		ack, _ := tx.arq.Deliver(f)
-		tx.rc.generate(end, ack, true)
+		tx.down.Generate(end, ack.NextSeq, true)
 	default:
 		ack, _ := tx.arq.Deliver(f)
-		tx.rc.generate(end, ack, false)
+		tx.down.Generate(end, ack.NextSeq, false)
 	}
 	return at, nil
 }
 
-func (tx *scriptTx) Acks(now time.Duration) []AckEvent { return tx.rc.acks(now) }
-
-func (tx *scriptTx) NextArrival(now time.Duration) (time.Duration, bool) {
-	return tx.rc.nextArrival(now)
+func (tx *scriptTx) Acks(now time.Duration) []AckEvent {
+	return ackEvents(tx.down.Arrivals(now))
 }
 
-func (tx *scriptTx) AckLatency() time.Duration { return tx.rc.latency() }
+func (tx *scriptTx) NextArrival(now time.Duration) (time.Duration, bool) {
+	return tx.down.NextArrival(now)
+}
+
+func (tx *scriptTx) AckLatency() time.Duration { return tx.down.Latency() }
 
 func (tx *scriptTx) message() []byte {
 	msgs := tx.arq.Messages()
@@ -645,11 +655,12 @@ func TestSessionDuplicateDownlinkAcks(t *testing.T) {
 		t.Errorf("duplicate acks caused %d retransmits and %d timeouts, want none",
 			rep.Retransmits, rep.Timeouts)
 	}
-	if got := tx.rc.stats.AcksSent; got != 6 {
+	ledger := tx.down.Ledger()
+	if got := ledger.AcksSent; got != 6 {
 		t.Errorf("reverse channel sent %d copies, want 2 acks × 3 repeats", got)
 	}
-	if tx.rc.stats.AcksDropped != 0 {
-		t.Errorf("clean reverse path dropped %d copies", tx.rc.stats.AcksDropped)
+	if ledger.AcksDropped != 0 {
+		t.Errorf("clean reverse path dropped %d copies", ledger.AcksDropped)
 	}
 }
 

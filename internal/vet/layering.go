@@ -42,7 +42,7 @@ channel: dsp splitmix wifi
 core: coding dsp wifi zigbee
 cli: core trace
 medium: channel core dsp splitmix
-link: core dsp medium wifi
+link: core ctc dsp medium wifi
 stream: core link
 reliable: channel coding core ctc link splitmix zigbee
 sim: channel coding core ctc dsp mac wifi zigbee

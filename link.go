@@ -14,6 +14,25 @@ type (
 	StackSpec = link.Spec
 	// LayerStats is one pipeline layer's in/out/error accounting.
 	LayerStats = link.LayerStats
+	// Duplex pairs an uplink decode Stack with a downlink ack stack
+	// behind one composed surface — the full link of the reliable
+	// transport.
+	Duplex = link.Duplex
+	// DownStack is the layered reverse channel: ack coalescer → scheme
+	// occupancy → loss/collision fault stage → timed sinks.
+	DownStack = link.DownStack
+	// DownSpec configures a DownStack assembly.
+	DownSpec = link.DownSpec
+	// DownTiming is an explicit downlink timing point (an alternative
+	// to resolving a CTC scheme).
+	DownTiming = link.DownTiming
+	// DownlinkLedger is the DownStack's cross-stage accounting.
+	DownlinkLedger = link.DownlinkLedger
+	// TimedEvent is one timestamped event (an ack arrival) emitted by
+	// the downlink stack.
+	TimedEvent = link.TimedEvent
+	// TimedLayer is a sink stage for timestamped downlink events.
+	TimedLayer = link.TimedLayer
 )
 
 var (
@@ -29,4 +48,10 @@ var (
 	// stack and returns the first decoded frame — the Stack form of
 	// Decoder.DecodeFrame.
 	DecodeBatch = link.DecodeBatch
+	// NewDownStack assembles a layered downlink ack stack from a spec.
+	NewDownStack = link.NewDownStack
+	// NewDuplex pairs an uplink Stack with a DownStack.
+	NewDuplex = link.NewDuplex
+	// NewTimedCallback adapts a function into a TimedLayer sink.
+	NewTimedCallback = link.NewTimedCallback
 )

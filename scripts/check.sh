@@ -33,6 +33,11 @@ go test ./internal/link/ -run "$LINK_EQUIVALENCE_RUN" -count=1
 # match the per-sample reference scanner bit for bit and allocate
 # nothing once warm (DESIGN.md §13).
 go test ./internal/core/ -run "$HUNT_EQUIVALENCE_RUN" -count=1
+# Duplex downlink equivalence: the layered ack stack must match the
+# retired monolithic reverse channel bit for bit over 100 seeds, and
+# the committed downlink golden traces must replay byte-identically at
+# every polling cadence (DESIGN.md §15).
+go test ./internal/link/ ./internal/reliable/ -run "$DUPLEX_EQUIVALENCE_RUN" -count=1
 # Library code reports errors, it does not panic: the only panic( calls
 # allowed outside tests are the vet suite's own fixtures/doc strings.
 panics="$(grep -rn 'panic(' --include='*.go' cmd internal examples *.go | grep -v _test.go | grep -v '^internal/vet/' || true)"

@@ -18,6 +18,15 @@ HUNT_EQUIVALENCE_RUN='TestHuntScalarBatchEquivalence|TestHuntBatchZeroAlloc'
 # synthesizer must reproduce the dense reference bit-for-bit.
 MEDIUM_EQUIVALENCE_RUN='TestMediumLinkEquivalence'
 
+# Duplex downlink equivalence gate (DESIGN.md §15): the layered
+# link.DownStack must match the retired monolithic reverseChannel bit
+# for bit over 100 randomized seeds (the reference survives verbatim in
+# internal/reliable as a test-only pin), and the committed downlink
+# golden traces must replay byte-identically at every polling cadence.
+# Run over both packages: the golden fixture lives in internal/link,
+# the equivalence reference in internal/reliable.
+DUPLEX_EQUIVALENCE_RUN='TestDownlinkLayeredEquivalence|TestDownlinkGoldenTraces'
+
 # ARQ acceptance soaks (DESIGN.md §14): the 100-seed forward soak on
 # both receive paths plus the bidirectional soak (10% loss forward, 10%
 # per-copy ack loss on the modeled downlink). CI and nightly run these
@@ -34,5 +43,7 @@ ARQ_SOAK_RUN='TestARQSoak|TestARQBidirectionalSoak'
 # RNG owners: the root package, channel, ctc, mac, medium, reliable,
 # sim, splitmix, wifi. core stays listed for the decoder state machine
 # driven concurrently by stream, and vet for its GOMAXPROCS-bounded
-# analyzer fan-out.
+# analyzer fan-out. Re-audited for the duplex refactor: link now also
+# owns the downlink's collision RNG (DownSpec.Collide) — it was already
+# in scope as a goroutine spawner, so the list is unchanged.
 RACE_PACKAGES='. ./internal/stream/... ./internal/core/... ./internal/reliable/... ./internal/channel/... ./internal/link/... ./internal/medium/... ./internal/ctc/... ./internal/sim/... ./internal/dsp/... ./internal/splitmix/... ./internal/mac/... ./internal/wifi/... ./internal/vet/...'

@@ -49,6 +49,12 @@ const (
 	DownlinkCMorse = reliable.DownlinkCMorse
 	// DownlinkFreeBee: ≈513 ms one-byte acks at ≈0.6% duty.
 	DownlinkFreeBee = reliable.DownlinkFreeBee
+	// DownlinkDCTC: ≈19 ms one-byte acks at ≈26% duty — the fastest
+	// modeled operating point.
+	DownlinkDCTC = reliable.DownlinkDCTC
+	// DownlinkEMF: ≈20 ms one-byte acks at ≈17% duty — C-Morse-class
+	// latency with a smaller collision cross-section.
+	DownlinkEMF = reliable.DownlinkEMF
 )
 
 // Reliability constructors and defaults.
